@@ -1,0 +1,63 @@
+"""Benchmarks for the ablation experiments (design choices in DESIGN.md)."""
+
+from __future__ import annotations
+
+from repro.experiments import ablations
+
+
+def test_ablation_truncation(benchmark, replicates, run_once):
+    """Quantify the effect of the truncation rule (8) near the boundary."""
+    result = run_once(
+        benchmark, ablations.run_truncation_ablation, replicates=replicates, seed=0
+    )
+    for truncated, raw in zip(result.rrmse_truncated, result.rrmse_untruncated):
+        assert truncated <= raw + 1e-9
+    benchmark.extra_info["rrmse_truncated_at_N"] = round(
+        float(result.rrmse_truncated[-1]), 4
+    )
+    benchmark.extra_info["rrmse_untruncated_at_N"] = round(
+        float(result.rrmse_untruncated[-1]), 4
+    )
+
+
+def test_ablation_streaming_vs_simulation(benchmark, run_once):
+    """Confirm the two execution paths produce the same error level."""
+    result = run_once(
+        benchmark, ablations.run_path_agreement_ablation, replicates=60, seed=0
+    )
+    assert abs(result.rrmse_streaming - result.rrmse_simulated) < 0.6 * result.theoretical
+    benchmark.extra_info["streaming"] = round(result.rrmse_streaming, 4)
+    benchmark.extra_info["simulated"] = round(result.rrmse_simulated, 4)
+    benchmark.extra_info["theory"] = round(result.theoretical, 4)
+
+
+def test_ablation_hash_families(benchmark, run_once):
+    """Compare splitmix64, murmur and tabulation hashing on the same design."""
+    result = run_once(
+        benchmark, ablations.run_hash_family_ablation, replicates=40, seed=0
+    )
+    for name, value in result.rrmse_by_family.items():
+        assert value < 3 * result.theoretical, name
+    benchmark.extra_info["rrmse_by_family"] = {
+        name: round(value, 4) for name, value in result.rrmse_by_family.items()
+    }
+
+
+def test_ablation_operation_counts(benchmark, run_once):
+    """Hash evaluations per item for each sketch (Section 3's cost claim)."""
+    result = run_once(benchmark, ablations.run_operation_count_ablation, seed=0)
+    for name, value in result.hashes_per_item.items():
+        assert value <= 1.01, name
+    benchmark.extra_info["hashes_per_item"] = {
+        name: round(value, 3) for name, value in result.hashes_per_item.items()
+    }
+
+
+def test_ablation_exact_markov_chain(benchmark, run_once):
+    """Exact (non Monte-Carlo) chain error vs the Theorem 3 constant."""
+    result = run_once(benchmark, ablations.run_markov_exact_ablation, seed=0)
+    interior = result.exact_rrmse[1:-1]
+    for value in interior:
+        assert abs(value - result.theoretical) < 0.3 * result.theoretical
+    benchmark.extra_info["exact_rrmse"] = [round(float(v), 4) for v in result.exact_rrmse]
+    benchmark.extra_info["theory"] = round(result.theoretical, 4)

@@ -1,0 +1,20 @@
+"""Benchmark + reproduction target for Figure 3 (memory-ratio contour)."""
+
+from __future__ import annotations
+
+from repro.experiments import figure3
+
+
+def test_figure3_ratio_surface(benchmark, run_once):
+    """Regenerate the (eps, N) ratio surface and check the contour-1 geometry."""
+    result = run_once(benchmark, figure3.run)
+    # Lower-left of the contour labelled '1' (small eps): S-bitmap wins.
+    assert result.ratio_at(10**4, 0.01) > 1.0
+    assert result.ratio_at(10**6, 0.01) > 1.0
+    # Upper-right (large eps, huge N): Hyper-LogLog wins.
+    assert result.ratio_at(10**7, 0.5) < 1.0
+    # The advantage shrinks as N grows at fixed eps (Table 2 row trend).
+    assert result.ratio_at(10**3, 0.03) > result.ratio_at(10**7, 0.03)
+    benchmark.extra_info["ratio_N1e4_eps1pct"] = round(result.ratio_at(10**4, 0.01), 2)
+    benchmark.extra_info["ratio_N1e7_eps9pct"] = round(result.ratio_at(10**7, 0.09), 2)
+    benchmark.extra_info["crossover_eps_N1e6"] = round(float(result.crossover[3]), 4)

@@ -1,0 +1,26 @@
+"""Benchmark + reproduction target for Figure 6 (exceedance curves, Slammer links)."""
+
+from __future__ import annotations
+
+from repro.experiments import figure6
+
+
+def test_figure6_exceedance_curves(benchmark, run_once):
+    """Regenerate the exceedance curves and check S-bitmap's tail resistance."""
+    result = run_once(benchmark, figure6.run, num_minutes=540, seed=0)
+    three_sigma = 3 * result.design_rrmse
+    for link, per_algorithm in result.proportions.items():
+        sbitmap_tail = result.proportion_at(link, "sbitmap", three_sigma)
+        # Paper: the proportion of S-bitmap estimates beyond 3 sigma is ~0,
+        # while the competitors retain at least ~1.5% at the same threshold.
+        assert sbitmap_tail <= 0.01
+        worst_competitor = max(
+            result.proportion_at(link, name, three_sigma)
+            for name in per_algorithm
+            if name != "sbitmap"
+        )
+        assert worst_competitor >= sbitmap_tail
+        benchmark.extra_info[f"{link}_sbitmap_tail_3sigma"] = round(sbitmap_tail, 4)
+        benchmark.extra_info[f"{link}_worst_competitor_tail_3sigma"] = round(
+            worst_competitor, 4
+        )

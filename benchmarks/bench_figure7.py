@@ -1,0 +1,19 @@
+"""Benchmark + reproduction target for Figure 7 (backbone flow-count distribution)."""
+
+from __future__ import annotations
+
+from repro.experiments import figure7
+
+
+def test_figure7_snapshot_distribution(benchmark, run_once):
+    """Regenerate the backbone snapshot histogram and quantiles."""
+    result = run_once(benchmark, figure7.run, num_links=600, seed=0)
+    # The workload must span several orders of magnitude (the motivation for
+    # scale-invariant counting) and sit in the paper's quantile ballpark.
+    assert result.num_links > 400
+    assert result.flow_counts.max() / result.flow_counts.min() > 100
+    for synthetic, reported in zip(result.quantiles, result.paper_quantiles):
+        assert reported / 6 < synthetic < reported * 6
+    benchmark.extra_info["quantiles"] = [round(float(q)) for q in result.quantiles]
+    benchmark.extra_info["paper_quantiles"] = list(result.paper_quantiles)
+    benchmark.extra_info["num_links"] = result.num_links

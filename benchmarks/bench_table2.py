@@ -1,0 +1,40 @@
+"""Benchmark + reproduction target for Table 2 (memory: HLL vs S-bitmap)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import table2
+
+
+def test_table2_memory_comparison(benchmark, run_once):
+    """Regenerate the analytic memory table and compare against the paper."""
+    result = run_once(benchmark, table2.run)
+    mismatches = 0
+    for (n_max, eps), (paper_hll, paper_sbitmap) in table2.PAPER_VALUES.items():
+        row = result.row(n_max, eps)
+        if abs(row.hyperloglog_hundred_bits - paper_hll) > 0.03 * paper_hll:
+            mismatches += 1
+        if abs(row.sbitmap_hundred_bits - paper_sbitmap) > 0.04 * paper_sbitmap:
+            mismatches += 1
+    assert mismatches == 0
+    # Record the two headline cells the paper's text calls out.
+    benchmark.extra_info["hll_over_sbitmap_N1e6_eps3pct"] = round(
+        result.row(10**6, 0.03).hyperloglog_hundred_bits
+        / result.row(10**6, 0.03).sbitmap_hundred_bits,
+        3,
+    )
+    benchmark.extra_info["hll_over_sbitmap_N1e4_eps3pct"] = round(
+        result.row(10**4, 0.03).hyperloglog_hundred_bits
+        / result.row(10**4, 0.03).sbitmap_hundred_bits,
+        3,
+    )
+
+
+def test_table2_ratios_match_paper_claims(benchmark, run_once):
+    """Section 6.2's textual claims: >=27% (core) and >=120% (household) savings."""
+    result = run_once(benchmark, table2.run)
+    core = result.row(10**6, 0.03)
+    household = result.row(10**4, 0.03)
+    assert core.hyperloglog_hundred_bits >= 1.26 * core.sbitmap_hundred_bits
+    assert household.hyperloglog_hundred_bits >= 2.15 * household.sbitmap_hundred_bits

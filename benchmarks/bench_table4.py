@@ -1,0 +1,36 @@
+"""Benchmark + reproduction target for Table 4 (N=10^6, m=6720 bits)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments import table4
+
+
+def test_table4_error_metrics(benchmark, replicates, run_once):
+    """Regenerate the L1/L2/q99 table and check the qualitative findings."""
+    result = run_once(
+        benchmark, table4.run, replicates=max(50, replicates // 2), seed=0
+    )
+    sweep = result.sweep
+
+    sbitmap_l2 = sweep.rrmse("sbitmap")
+    hll_l2 = sweep.rrmse("hyperloglog")
+    grid = sweep.cardinalities
+
+    # S-bitmap sits near its 2.4% design error across six orders of magnitude.
+    interior = sbitmap_l2[:-1]
+    assert float(np.median(sbitmap_l2)) < 0.045
+    assert interior.max() / interior.min() < 2.0
+
+    # At the top of the range (n >= 5*10^5) S-bitmap's error is below
+    # Hyper-LogLog's, as in the paper's Table 4.
+    top = grid >= 500_000
+    assert np.all(sbitmap_l2[top] <= hll_l2[top] * 1.05)
+
+    benchmark.extra_info["cardinalities"] = [int(n) for n in grid]
+    benchmark.extra_info["sbitmap_L2_x100"] = [round(100 * v, 1) for v in sbitmap_l2]
+    benchmark.extra_info["hll_L2_x100"] = [round(100 * v, 1) for v in hll_l2]
+    benchmark.extra_info["mr_L2_x100"] = [
+        round(100 * v, 1) for v in sweep.rrmse("mr_bitmap")
+    ]

@@ -1,0 +1,60 @@
+"""Micro-benchmarks of per-item update and query cost.
+
+Section 3 of the paper argues that S-bitmap's computational cost per item is
+"similar to or lower than" mr-bitmap, LogLog and Hyper-LogLog: one hash per
+item, and the sampling branch is only taken when the target bucket is empty.
+These benchmarks measure the streaming update throughput and the query cost
+of every sketch under identical conditions (same memory budget, same stream),
+so the relative ordering -- not the absolute pure-Python numbers -- is the
+reproduction target.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sketches import create_sketch
+from repro.streams.generators import duplicated_stream
+
+MEMORY_BITS = 8_000
+N_MAX = 1_000_000
+STREAM_DISTINCT = 2_000
+STREAM_TOTAL = 6_000
+
+ALGORITHMS = ("sbitmap", "hyperloglog", "loglog", "mr_bitmap", "linear_counting")
+
+
+@pytest.fixture(scope="module")
+def stream() -> list[str]:
+    return list(duplicated_stream(STREAM_DISTINCT, STREAM_TOTAL, seed_or_rng=7))
+
+
+@pytest.mark.parametrize("algorithm", ALGORITHMS)
+def test_update_throughput(benchmark, stream, algorithm):
+    """Items-per-second streaming update cost for each sketch."""
+
+    def run() -> float:
+        sketch = create_sketch(algorithm, MEMORY_BITS, N_MAX, seed=1)
+        sketch.update(stream)
+        return sketch.estimate()
+
+    estimate = benchmark(run)
+    assert 0.5 * STREAM_DISTINCT < estimate < 2.0 * STREAM_DISTINCT
+    benchmark.extra_info["items"] = len(stream)
+
+
+@pytest.mark.parametrize("algorithm", ALGORITHMS)
+def test_query_cost(benchmark, stream, algorithm):
+    """Cost of producing an estimate from a populated sketch."""
+    sketch = create_sketch(algorithm, MEMORY_BITS, N_MAX, seed=2)
+    sketch.update(stream)
+    estimate = benchmark(sketch.estimate)
+    assert estimate > 0
+
+
+def test_sbitmap_dimensioning_cost(benchmark):
+    """Cost of solving equation (7) and building the rate tables."""
+    from repro.core.dimensioning import SBitmapDesign
+
+    design = benchmark(SBitmapDesign.from_memory, 8_000, 1_000_000)
+    assert design.precision > 1.0

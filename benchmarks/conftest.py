@@ -1,0 +1,41 @@
+"""Shared configuration for the benchmark harness.
+
+Every paper table/figure has one benchmark module here; each wraps the
+corresponding ``repro.experiments.*.run`` driver with reduced replicate
+counts (override with ``--paper-scale`` to use the paper's own replicates).
+The benchmarks intentionally run a single round -- the interesting output is
+the reproduced table/series (attached to ``benchmark.extra_info``) plus the
+wall-clock cost of regenerating it, not a micro-timing distribution.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def pytest_addoption(parser: pytest.Parser) -> None:
+    parser.addoption(
+        "--paper-scale",
+        action="store_true",
+        default=False,
+        help="run the experiment benchmarks with the paper's replicate counts "
+        "(1000 replicates; much slower)",
+    )
+
+
+@pytest.fixture
+def replicates(request: pytest.FixtureRequest) -> int:
+    """Replicates per experiment cell (paper scale: 1000)."""
+    return 1000 if request.config.getoption("--paper-scale") else 100
+
+
+@pytest.fixture
+def run_once():
+    """Fixture: run an experiment driver exactly once under the benchmark timer."""
+
+    def _run(benchmark, function, *args, **kwargs):
+        return benchmark.pedantic(
+            function, args=args, kwargs=kwargs, rounds=1, iterations=1
+        )
+
+    return _run

@@ -1,0 +1,98 @@
+"""Distributed and windowed counting: sketches beyond a single stream.
+
+Run with::
+
+    python examples/distributed_counting.py
+
+Three production patterns built on the library's extension modules:
+
+1. **Fleet roll-up** -- one mergeable sketch per monitored site, combined at
+   query time for union / overlap estimates (``repro.analysis.setops``).
+2. **Sliding windows** -- "distinct users over the last 3 intervals" with one
+   HyperLogLog per interval (``repro.sketches.windowed``).
+3. **Confidence intervals** -- error bars around an S-bitmap estimate
+   (``repro.core.confidence``), instead of a bare point estimate.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.setops import jaccard_estimate, overlap_matrix, union_estimate
+from repro.core.confidence import fill_time_interval, normal_interval
+from repro.core.sbitmap import SBitmap
+from repro.sketches import HyperLogLog, SlidingWindowCounter
+from repro.streams.generators import distinct_stream
+
+
+def fleet_rollup() -> None:
+    print("1. Fleet roll-up across three data centres (HyperLogLog, 2 KiB each)")
+    print("-" * 70)
+    # Each site sees 40k users; adjacent sites share half their users.
+    sites = {}
+    for index, name in enumerate(("us-east", "us-west", "eu-central")):
+        sketch = HyperLogLog(4_096, seed=99)  # same seed -> mergeable fleet
+        sketch.update(distinct_stream(40_000, prefix="user", start=index * 20_000))
+        sites[name] = sketch
+    union = union_estimate(list(sites.values()))
+    print(f"union of all sites ~ {union:,.0f} distinct users (truth 80,000)")
+    print(
+        "jaccard(us-east, us-west)   ~ "
+        f"{jaccard_estimate(sites['us-east'], sites['us-west']):.2f} (truth 0.33)"
+    )
+    print(
+        "jaccard(us-east, eu-central)~ "
+        f"{jaccard_estimate(sites['us-east'], sites['eu-central']):.2f} (truth 0.00)"
+    )
+    matrix = overlap_matrix(list(sites.values()))
+    print("pairwise overlap estimates (rows/cols in site order):")
+    for row in matrix:
+        print("   ", "  ".join(f"{value:10,.0f}" for value in row))
+
+
+def sliding_window() -> None:
+    print("\n2. Distinct users over the last 3 intervals (sliding HyperLogLog)")
+    print("-" * 70)
+    counter = SlidingWindowCounter(
+        window=3, algorithm="hyperloglog", memory_bits=4_096, n_max=100_000, seed=5
+    )
+    # 5 intervals; each interval brings 2,000 new users and repeats 1,000 old.
+    for interval in range(5):
+        for user in range(2_000):
+            counter.add(interval, f"user-{interval * 2_000 + user}")
+        for user in range(1_000):
+            counter.add(interval, f"user-{max(0, (interval - 1)) * 2_000 + user}")
+    for as_of in range(2, 5):
+        estimate = counter.estimate(as_of_interval=as_of)
+        # The first window (intervals 0-2) only re-sees users already inside
+        # it (6,000 distinct); later windows also re-see 1,000 users from the
+        # interval just before the window (7,000 distinct).
+        truth = 6_000 if as_of == 2 else 7_000
+        print(
+            f"  window ending at interval {as_of}: ~{estimate:,.0f} distinct users "
+            f"(truth {truth:,})"
+        )
+
+
+def interval_estimates() -> None:
+    print("\n3. Confidence intervals around an S-bitmap estimate")
+    print("-" * 70)
+    sketch = SBitmap.from_error(n_max=1_000_000, target_rrmse=0.03, seed=21)
+    truth = 120_000
+    sketch.update(distinct_stream(truth, prefix="flow"))
+    for confidence in (0.90, 0.95, 0.99):
+        normal = normal_interval(sketch.design, sketch.fill_count, confidence)
+        exact = fill_time_interval(sketch.design, sketch.fill_count, confidence)
+        print(
+            f"  {confidence:.0%}: normal [{normal.lower:9,.0f}, {normal.upper:9,.0f}]"
+            f"   fill-time [{exact.lower:9,.0f}, {exact.upper:9,.0f}]"
+            f"   (truth {truth:,}, covered={exact.contains(truth)})"
+        )
+
+
+def main() -> None:
+    fleet_rollup()
+    sliding_window()
+    interval_estimates()
+
+
+if __name__ == "__main__":
+    main()

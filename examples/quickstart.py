@@ -1,0 +1,68 @@
+"""Quickstart: count distinct items in a stream with the S-bitmap.
+
+Run with::
+
+    python examples/quickstart.py
+
+The script builds an S-bitmap dimensioned for a 1% error up to one million
+distinct items, feeds it a duplicated stream of user identifiers, and compares
+the estimate with the exact answer and with a HyperLogLog of the same memory
+budget.
+"""
+
+from __future__ import annotations
+
+from repro import ExactCounter, HyperLogLog, SBitmap
+from repro.streams.generators import zipf_stream
+
+
+def main() -> None:
+    n_max = 1_000_000
+    target_error = 0.01
+    true_distinct = 75_000
+    total_items = 400_000
+
+    print("Distinct counting with a self-learning bitmap -- quickstart")
+    print("-" * 60)
+
+    # 1. Dimension the sketch: "I need <= 1% error for anything up to 10^6".
+    sketch = SBitmap.from_error(n_max=n_max, target_rrmse=target_error, seed=7)
+    print(
+        f"S-bitmap designed for N={n_max:,}, eps={target_error:.1%}: "
+        f"{sketch.memory_bits():,} bits "
+        f"(precision constant C={sketch.design.precision:,.0f})"
+    )
+
+    # A HyperLogLog with the same memory budget, for comparison.
+    hll = HyperLogLog.from_memory(sketch.memory_bits(), n_max=n_max, seed=11)
+    exact = ExactCounter()
+
+    # 2. Stream items (heavy-tailed duplication, like per-flow packet counts).
+    stream = zipf_stream(true_distinct, total_items, exponent=1.2, seed_or_rng=3)
+    for item in stream:
+        sketch.add(item)
+        hll.add(item)
+        exact.add(item)
+
+    # 3. Query.
+    truth = exact.estimate()
+    print(f"\nProcessed {total_items:,} items, {truth:,.0f} distinct")
+    for name, counter in (("S-bitmap", sketch), ("HyperLogLog", hll)):
+        estimate = counter.estimate()
+        error = estimate / truth - 1.0
+        print(
+            f"  {name:12s} estimate = {estimate:10,.0f}   "
+            f"relative error = {error:+.2%}   memory = {counter.memory_bits():,} bits"
+        )
+
+    # 4. The sketch state can be checkpointed and restored.
+    snapshot = sketch.to_json()
+    restored = SBitmap.from_json(snapshot)
+    print(
+        f"\nCheckpoint round-trip: {len(snapshot):,} bytes of JSON, "
+        f"restored estimate = {restored.estimate():,.0f}"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,81 @@
+"""repro: a reproduction of "Distinct Counting with a Self-Learning Bitmap".
+
+The package implements the S-bitmap sketch of Chen, Cao, Shepp and Nguyen
+(ICDE 2009 / arXiv:1107.1697) together with every baseline algorithm the
+paper compares against, the workloads of its evaluation section, and the
+experiment drivers that regenerate each of its tables and figures.
+
+Quickstart
+----------
+>>> from repro import SBitmap
+>>> sketch = SBitmap.from_error(n_max=1_000_000, target_rrmse=0.01, seed=1)
+>>> sketch.update(f"user-{i % 50_000}" for i in range(200_000))
+>>> round(sketch.estimate() / 50_000, 1)
+1.0
+
+Package layout
+--------------
+* :mod:`repro.core` -- the S-bitmap itself (sketch, dimensioning, estimator,
+  Markov-chain analysis, closed-form theory),
+* :mod:`repro.sketches` -- baselines (linear counting, virtual and
+  multiresolution bitmaps, FM, LogLog, HyperLogLog, adaptive/distinct
+  sampling, KMV, Morris),
+* :mod:`repro.hashing` -- the universal-hashing substrate,
+* :mod:`repro.streams` -- synthetic workloads and network-trace substitutes,
+* :mod:`repro.simulation` -- fast model-level simulators used by the
+  large-scale accuracy experiments,
+* :mod:`repro.analysis` -- metrics, the sweep engine, memory models,
+* :mod:`repro.experiments` -- one driver per paper table/figure,
+* :mod:`repro.cli` -- ``sbitmap`` command-line interface.
+"""
+
+from repro.core import (
+    SBitmap,
+    SBitmapDesign,
+    SBitmapEstimator,
+    SBitmapMarkovChain,
+    theory,
+)
+from repro.sketches import (
+    AdaptiveSampling,
+    DistinctCounter,
+    DistinctSampling,
+    ExactCounter,
+    FlajoletMartin,
+    HyperLogLog,
+    KMinimumValues,
+    LinearCounting,
+    LogLog,
+    MorrisCounter,
+    MultiresolutionBitmap,
+    NotMergeableError,
+    VirtualBitmap,
+    available_sketches,
+    create_sketch,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AdaptiveSampling",
+    "DistinctCounter",
+    "DistinctSampling",
+    "ExactCounter",
+    "FlajoletMartin",
+    "HyperLogLog",
+    "KMinimumValues",
+    "LinearCounting",
+    "LogLog",
+    "MorrisCounter",
+    "MultiresolutionBitmap",
+    "NotMergeableError",
+    "SBitmap",
+    "SBitmapDesign",
+    "SBitmapEstimator",
+    "SBitmapMarkovChain",
+    "VirtualBitmap",
+    "__version__",
+    "available_sketches",
+    "create_sketch",
+    "theory",
+]

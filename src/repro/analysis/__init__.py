@@ -1,0 +1,75 @@
+"""Analysis layer: error metrics, experiment runner, memory models, tables.
+
+* :mod:`repro.analysis.metrics` -- RRMSE / L1 / quantile / exceedance metrics,
+* :mod:`repro.analysis.experiment` -- the replicated accuracy-sweep engine,
+* :mod:`repro.analysis.memory` -- cross-algorithm memory accounting,
+* :mod:`repro.analysis.tables` -- plain-text / Markdown table rendering.
+"""
+
+from repro.analysis.export import (
+    memory_comparisons_to_rows,
+    sweep_to_rows,
+    write_memory_csv,
+    write_sweep_csv,
+    write_sweep_json,
+)
+from repro.analysis.experiment import (
+    SIMULATED_ALGORITHMS,
+    AccuracyCell,
+    SweepResult,
+    run_accuracy_sweep,
+    streaming_estimates,
+)
+from repro.analysis.memory import (
+    MemoryComparison,
+    memory_budget_report,
+    memory_table,
+    sampling_family_memory_bits,
+)
+from repro.analysis.metrics import (
+    ErrorSummary,
+    exceedance_proportions,
+    mean_absolute_relative_error,
+    relative_error_quantile,
+    relative_errors,
+    rrmse,
+    summarize_errors,
+)
+from repro.analysis.setops import (
+    intersection_estimate,
+    jaccard_estimate,
+    overlap_matrix,
+    union_estimate,
+)
+from repro.analysis.tables import format_markdown_table, format_number, format_table
+
+__all__ = [
+    "SIMULATED_ALGORITHMS",
+    "AccuracyCell",
+    "ErrorSummary",
+    "MemoryComparison",
+    "SweepResult",
+    "exceedance_proportions",
+    "format_markdown_table",
+    "format_number",
+    "format_table",
+    "intersection_estimate",
+    "jaccard_estimate",
+    "mean_absolute_relative_error",
+    "memory_budget_report",
+    "memory_comparisons_to_rows",
+    "memory_table",
+    "overlap_matrix",
+    "relative_error_quantile",
+    "relative_errors",
+    "rrmse",
+    "run_accuracy_sweep",
+    "sampling_family_memory_bits",
+    "streaming_estimates",
+    "summarize_errors",
+    "sweep_to_rows",
+    "union_estimate",
+    "write_memory_csv",
+    "write_sweep_csv",
+    "write_sweep_json",
+]

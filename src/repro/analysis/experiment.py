@@ -1,0 +1,245 @@
+"""Replicated accuracy experiments: the engine behind Figures 2/4 and Tables 3/4.
+
+The paper's simulation studies follow one pattern: fix a memory budget ``m``
+and a range bound ``N``, sweep the true cardinality ``n`` over a grid,
+replicate each cell many times, and summarise the error distribution per
+(algorithm, n) cell.  :func:`run_accuracy_sweep` implements that pattern.
+
+Two execution modes are available per algorithm:
+
+* ``mode="simulate"`` (default) -- draw the sketch's sufficient statistic from
+  its exact distribution given ``n`` using :mod:`repro.simulation`; this is
+  how thousand-replicate sweeps to ``n = 10^6`` stay fast, and it matches the
+  paper's own setup (streams of *distinct* items);
+* ``mode="stream"`` -- instantiate the registered streaming sketch, feed it a
+  stream of ``n`` distinct keys and query it; used by the integration tests
+  and available everywhere for spot-checking the simulators.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.analysis.metrics import ErrorSummary, summarize_errors
+from repro.core.dimensioning import SBitmapDesign
+from repro.core.theory import register_width_bits
+from repro.simulation import (
+    simulate_hyperloglog_estimates,
+    simulate_linear_counting_estimates,
+    simulate_loglog_estimates,
+    simulate_mr_bitmap_estimates,
+    simulate_sbitmap_sweep,
+)
+from repro.sketches.base import create_sketch
+from repro.sketches.mr_bitmap import MultiresolutionBitmap
+from repro.streams.generators import distinct_stream
+
+__all__ = [
+    "SIMULATED_ALGORITHMS",
+    "AccuracyCell",
+    "SweepResult",
+    "run_accuracy_sweep",
+    "streaming_estimates",
+]
+
+#: Algorithms with a model-level simulator (Figure 4 / Tables 3-4 compare these).
+SIMULATED_ALGORITHMS = (
+    "sbitmap",
+    "hyperloglog",
+    "loglog",
+    "mr_bitmap",
+    "linear_counting",
+)
+
+
+@dataclass(frozen=True)
+class AccuracyCell:
+    """Error summary of one (algorithm, cardinality) cell of a sweep."""
+
+    algorithm: str
+    cardinality: int
+    summary: ErrorSummary
+
+
+@dataclass
+class SweepResult:
+    """Result of :func:`run_accuracy_sweep`.
+
+    ``cells[algorithm]`` is a list of :class:`AccuracyCell`, one per
+    cardinality of the grid, in grid order.
+    """
+
+    memory_bits: int
+    n_max: int
+    replicates: int
+    cardinalities: np.ndarray
+    cells: dict[str, list[AccuracyCell]] = field(default_factory=dict)
+
+    def rrmse(self, algorithm: str) -> np.ndarray:
+        """RRMSE per cardinality for one algorithm (grid order)."""
+        return np.array([cell.summary.l2 for cell in self.cells[algorithm]])
+
+    def l1(self, algorithm: str) -> np.ndarray:
+        """Mean absolute relative error per cardinality for one algorithm."""
+        return np.array([cell.summary.l1 for cell in self.cells[algorithm]])
+
+    def q99(self, algorithm: str) -> np.ndarray:
+        """99% error quantile per cardinality for one algorithm."""
+        return np.array([cell.summary.q99 for cell in self.cells[algorithm]])
+
+    def algorithms(self) -> list[str]:
+        """Algorithms present in the sweep (insertion order)."""
+        return list(self.cells)
+
+
+def _simulated_estimates(
+    algorithm: str,
+    memory_bits: int,
+    n_max: int,
+    cardinalities: np.ndarray,
+    replicates: int,
+    rng: np.random.Generator,
+) -> dict[int, np.ndarray]:
+    """Replicated estimates per cardinality using the model-level simulators."""
+    estimates: dict[int, np.ndarray] = {}
+    if algorithm == "sbitmap":
+        design = SBitmapDesign.from_memory(memory_bits, n_max)
+        sweep = simulate_sbitmap_sweep(design, cardinalities, replicates, rng)
+        for column, cardinality in enumerate(cardinalities):
+            estimates[int(cardinality)] = sweep[:, column]
+        return estimates
+    if algorithm in ("hyperloglog", "loglog"):
+        width = register_width_bits(n_max)
+        registers = max(2, memory_bits // width)
+        simulator = (
+            simulate_hyperloglog_estimates
+            if algorithm == "hyperloglog"
+            else simulate_loglog_estimates
+        )
+        for cardinality in cardinalities:
+            estimates[int(cardinality)] = simulator(
+                registers, int(cardinality), replicates, rng, register_width=width
+            )
+        return estimates
+    if algorithm == "mr_bitmap":
+        sizes = MultiresolutionBitmap.design(memory_bits, n_max).component_sizes
+        for cardinality in cardinalities:
+            estimates[int(cardinality)] = simulate_mr_bitmap_estimates(
+                sizes, int(cardinality), replicates, rng
+            )
+        return estimates
+    if algorithm == "linear_counting":
+        for cardinality in cardinalities:
+            estimates[int(cardinality)] = simulate_linear_counting_estimates(
+                memory_bits, int(cardinality), replicates, rng
+            )
+        return estimates
+    raise ValueError(
+        f"no model-level simulator for algorithm {algorithm!r}; "
+        f"simulatable algorithms: {SIMULATED_ALGORITHMS}"
+    )
+
+
+def streaming_estimates(
+    algorithm: str,
+    memory_bits: int,
+    n_max: int,
+    cardinality: int,
+    replicates: int,
+    seed: int = 0,
+) -> np.ndarray:
+    """Replicated estimates obtained by running the real streaming sketch.
+
+    Each replicate constructs a fresh sketch (new hash seed) and feeds it
+    ``cardinality`` distinct keys.  Pure-Python, so keep ``cardinality *
+    replicates`` modest; the statistical cross-validation tests use this to
+    confirm the simulators.
+    """
+    if replicates < 1:
+        raise ValueError(f"replicates must be positive, got {replicates}")
+    results = np.empty(replicates, dtype=float)
+    for replicate in range(replicates):
+        sketch = create_sketch(
+            algorithm, memory_bits, n_max, seed=seed * 100_003 + replicate
+        )
+        sketch.update(distinct_stream(cardinality, prefix=f"r{replicate}"))
+        results[replicate] = sketch.estimate()
+    return results
+
+
+def run_accuracy_sweep(
+    algorithms: list[str] | tuple[str, ...],
+    memory_bits: int,
+    n_max: int,
+    cardinalities: np.ndarray | list[int],
+    replicates: int = 200,
+    seed: int = 0,
+    mode: str = "simulate",
+) -> SweepResult:
+    """Run the paper's replicated accuracy experiment.
+
+    Parameters
+    ----------
+    algorithms:
+        Algorithm names (registry names, e.g. ``"sbitmap"``).
+    memory_bits:
+        Memory budget shared by every algorithm.
+    n_max:
+        Range bound ``N`` used to dimension every algorithm.
+    cardinalities:
+        Grid of true cardinalities ``n``.
+    replicates:
+        Replicates per (algorithm, n) cell (the paper uses 1000).
+    seed:
+        Master seed; each algorithm gets an independent child generator.
+    mode:
+        ``"simulate"`` (model-level, fast) or ``"stream"`` (real sketches).
+    """
+    if mode not in ("simulate", "stream"):
+        raise ValueError(f"mode must be 'simulate' or 'stream', got {mode!r}")
+    grid = np.unique(np.asarray(list(cardinalities), dtype=np.int64))
+    if grid.size == 0:
+        raise ValueError("cardinalities must not be empty")
+    if np.any(grid < 1):
+        raise ValueError("cardinalities must be at least 1")
+    result = SweepResult(
+        memory_bits=memory_bits,
+        n_max=n_max,
+        replicates=replicates,
+        cardinalities=grid,
+    )
+    seed_sequence = np.random.SeedSequence(seed)
+    children = seed_sequence.spawn(len(algorithms))
+    for algorithm, child in zip(algorithms, children):
+        rng = np.random.default_rng(child)
+        cells: list[AccuracyCell] = []
+        if mode == "simulate":
+            estimates_by_n = _simulated_estimates(
+                algorithm, memory_bits, n_max, grid, replicates, rng
+            )
+        else:
+            estimates_by_n = {
+                int(cardinality): streaming_estimates(
+                    algorithm,
+                    memory_bits,
+                    n_max,
+                    int(cardinality),
+                    replicates,
+                    seed=seed,
+                )
+                for cardinality in grid
+            }
+        for cardinality in grid:
+            cells.append(
+                AccuracyCell(
+                    algorithm=algorithm,
+                    cardinality=int(cardinality),
+                    summary=summarize_errors(
+                        estimates_by_n[int(cardinality)], float(cardinality)
+                    ),
+                )
+            )
+        result.cells[algorithm] = cells
+    return result

@@ -1,0 +1,112 @@
+"""Export experiment results to CSV / JSON for downstream analysis or plotting.
+
+The experiment drivers return structured result objects; this module
+serialises the two most commonly shared ones -- accuracy sweeps and memory
+comparisons -- into flat rows that spreadsheet tools and plotting scripts can
+ingest directly.  No third-party dependency is used (``csv`` and ``json``
+from the standard library).
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+
+from repro.analysis.experiment import SweepResult
+from repro.analysis.memory import MemoryComparison
+
+__all__ = [
+    "sweep_to_rows",
+    "write_sweep_csv",
+    "write_sweep_json",
+    "memory_comparisons_to_rows",
+    "write_memory_csv",
+]
+
+_SWEEP_FIELDS = (
+    "algorithm",
+    "cardinality",
+    "replicates",
+    "l1",
+    "l2",
+    "q99",
+    "bias",
+    "memory_bits",
+    "n_max",
+)
+
+
+def sweep_to_rows(sweep: SweepResult) -> list[dict[str, object]]:
+    """Flatten a :class:`SweepResult` into one dict per (algorithm, n) cell."""
+    rows: list[dict[str, object]] = []
+    for algorithm, cells in sweep.cells.items():
+        for cell in cells:
+            summary = cell.summary
+            rows.append(
+                {
+                    "algorithm": algorithm,
+                    "cardinality": cell.cardinality,
+                    "replicates": summary.replicates,
+                    "l1": summary.l1,
+                    "l2": summary.l2,
+                    "q99": summary.q99,
+                    "bias": summary.bias,
+                    "memory_bits": sweep.memory_bits,
+                    "n_max": sweep.n_max,
+                }
+            )
+    return rows
+
+
+def write_sweep_csv(sweep: SweepResult, path: str | Path) -> Path:
+    """Write an accuracy sweep to ``path`` as CSV; returns the path."""
+    destination = Path(path)
+    rows = sweep_to_rows(sweep)
+    with destination.open("w", newline="", encoding="utf-8") as handle:
+        writer = csv.DictWriter(handle, fieldnames=_SWEEP_FIELDS)
+        writer.writeheader()
+        writer.writerows(rows)
+    return destination
+
+
+def write_sweep_json(sweep: SweepResult, path: str | Path) -> Path:
+    """Write an accuracy sweep to ``path`` as JSON; returns the path."""
+    destination = Path(path)
+    payload = {
+        "memory_bits": sweep.memory_bits,
+        "n_max": sweep.n_max,
+        "replicates": sweep.replicates,
+        "cells": sweep_to_rows(sweep),
+    }
+    destination.write_text(json.dumps(payload, indent=2), encoding="utf-8")
+    return destination
+
+
+_MEMORY_FIELDS = (
+    "n_max",
+    "target_rrmse",
+    "sbitmap",
+    "hyperloglog",
+    "loglog",
+    "sampling_family",
+    "linear_counting",
+    "hll_to_sbitmap_ratio",
+)
+
+
+def memory_comparisons_to_rows(
+    comparisons: list[MemoryComparison],
+) -> list[dict[str, float]]:
+    """Flatten memory comparisons (Table 2 / Figure 3 grids) into dict rows."""
+    return [comparison.as_dict() for comparison in comparisons]
+
+
+def write_memory_csv(comparisons: list[MemoryComparison], path: str | Path) -> Path:
+    """Write a list of memory comparisons to ``path`` as CSV; returns the path."""
+    destination = Path(path)
+    with destination.open("w", newline="", encoding="utf-8") as handle:
+        writer = csv.DictWriter(handle, fieldnames=_MEMORY_FIELDS)
+        writer.writeheader()
+        writer.writerows(memory_comparisons_to_rows(comparisons))
+    return destination

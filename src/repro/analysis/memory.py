@@ -1,0 +1,103 @@
+"""Memory-cost accounting across algorithms (the basis of Table 2 / Figure 3).
+
+The paper compares summary-statistic sizes (hash seeds excluded) needed to
+reach a target RRMSE ``epsilon`` over the range ``[1, N]``:
+
+* S-bitmap: equation (7) evaluated at ``C = 1 + epsilon^{-2}``;
+* HyperLogLog: ``(1.04/epsilon)^2`` registers of ``ceil(log2 log2 N)`` bits;
+* LogLog: ``(1.30/epsilon)^2`` registers of the same width;
+* the sampling family (FM, adaptive/distinct sampling): order
+  ``epsilon^{-2} log2 N`` bits;
+* linear counting: essentially linear in ``N``.
+
+:func:`memory_table` builds the grid used by Table 2 and the ratio surface of
+Figure 3; :func:`memory_budget_report` summarises the trade-off for a single
+``(N, epsilon)`` pair (used by the CLI's ``dimension`` command).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.core import theory
+
+__all__ = [
+    "MemoryComparison",
+    "memory_budget_report",
+    "memory_table",
+    "sampling_family_memory_bits",
+]
+
+
+def sampling_family_memory_bits(n_max: int, target_rrmse: float) -> float:
+    """Approximate memory of the log-counting sampling family (Section 2.4).
+
+    FM-style and distinct-sampling methods need on the order of
+    ``epsilon^{-2}`` stored values of ``log2 N`` bits each; this is the rough
+    accounting the paper uses when placing them in the memory hierarchy.
+    """
+    if not 0.0 < target_rrmse < 1.0:
+        raise ValueError(
+            f"target RRMSE must lie strictly between 0 and 1, got {target_rrmse}"
+        )
+    if n_max < 2:
+        raise ValueError(f"n_max must be at least 2, got {n_max}")
+    return target_rrmse**-2 * math.log2(n_max)
+
+
+@dataclass(frozen=True)
+class MemoryComparison:
+    """Memory (bits) required by each algorithm for one ``(N, epsilon)`` target."""
+
+    n_max: int
+    target_rrmse: float
+    sbitmap: float
+    hyperloglog: float
+    loglog: float
+    sampling_family: float
+    linear_counting: float
+
+    @property
+    def hll_to_sbitmap_ratio(self) -> float:
+        """Ratio > 1 means S-bitmap needs less memory than HyperLogLog."""
+        return self.hyperloglog / self.sbitmap
+
+    def as_dict(self) -> dict[str, float]:
+        """Plain-dict view used by the table formatters."""
+        return {
+            "n_max": float(self.n_max),
+            "target_rrmse": self.target_rrmse,
+            "sbitmap": self.sbitmap,
+            "hyperloglog": self.hyperloglog,
+            "loglog": self.loglog,
+            "sampling_family": self.sampling_family,
+            "linear_counting": self.linear_counting,
+            "hll_to_sbitmap_ratio": self.hll_to_sbitmap_ratio,
+        }
+
+
+def memory_budget_report(n_max: int, target_rrmse: float) -> MemoryComparison:
+    """Memory needed by every algorithm family for one ``(N, epsilon)`` target."""
+    return MemoryComparison(
+        n_max=n_max,
+        target_rrmse=target_rrmse,
+        sbitmap=theory.sbitmap_memory_bits(n_max, target_rrmse),
+        hyperloglog=theory.hyperloglog_memory_bits(n_max, target_rrmse),
+        loglog=theory.loglog_memory_bits(n_max, target_rrmse),
+        sampling_family=sampling_family_memory_bits(n_max, target_rrmse),
+        linear_counting=theory.linear_counting_memory_bits(n_max, target_rrmse),
+    )
+
+
+def memory_table(
+    n_max_values: list[int], rrmse_values: list[float]
+) -> list[MemoryComparison]:
+    """The full ``(N, epsilon)`` grid of memory comparisons (Table 2 / Figure 3)."""
+    if not n_max_values or not rrmse_values:
+        raise ValueError("both n_max_values and rrmse_values must be non-empty")
+    return [
+        memory_budget_report(n_max, eps)
+        for n_max in n_max_values
+        for eps in rrmse_values
+    ]

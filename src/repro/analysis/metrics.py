@@ -1,0 +1,116 @@
+"""Error metrics used throughout the paper's evaluation.
+
+The paper measures accuracy primarily with the relative root mean square
+error (RRMSE, its L2 metric),
+
+    Re(n_hat) = sqrt( E[ (n_hat / n - 1)^2 ] ),
+
+and additionally (Tables 3-4) with the mean absolute relative error (L1) and
+the 99% quantile of the absolute relative error.  Figures 6 and 8 report
+exceedance curves: the proportion of estimates whose absolute relative error
+exceeds a threshold.  This module implements all of these on arrays of
+replicated estimates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = [
+    "ErrorSummary",
+    "relative_errors",
+    "rrmse",
+    "mean_absolute_relative_error",
+    "relative_error_quantile",
+    "exceedance_proportions",
+    "summarize_errors",
+]
+
+
+def relative_errors(estimates: np.ndarray, truth: float | np.ndarray) -> np.ndarray:
+    """Signed relative errors ``n_hat / n - 1`` (vectorised)."""
+    estimates = np.asarray(estimates, dtype=float)
+    truth_arr = np.asarray(truth, dtype=float)
+    if np.any(truth_arr <= 0):
+        raise ValueError("the true cardinality must be positive for relative errors")
+    return estimates / truth_arr - 1.0
+
+
+def rrmse(estimates: np.ndarray, truth: float | np.ndarray) -> float:
+    """Relative root mean square error (the paper's ``Re`` / L2 metric)."""
+    errors = relative_errors(estimates, truth)
+    return float(np.sqrt(np.mean(errors**2)))
+
+
+def mean_absolute_relative_error(
+    estimates: np.ndarray, truth: float | np.ndarray
+) -> float:
+    """Mean absolute relative error (the paper's L1 metric)."""
+    return float(np.mean(np.abs(relative_errors(estimates, truth))))
+
+
+def relative_error_quantile(
+    estimates: np.ndarray, truth: float | np.ndarray, quantile: float = 0.99
+) -> float:
+    """Quantile of the absolute relative error (Tables 3-4 use 99%)."""
+    if not 0.0 < quantile <= 1.0:
+        raise ValueError(f"quantile must lie in (0, 1], got {quantile}")
+    return float(np.quantile(np.abs(relative_errors(estimates, truth)), quantile))
+
+
+def exceedance_proportions(
+    absolute_relative_errors: np.ndarray, thresholds: np.ndarray
+) -> np.ndarray:
+    """Proportion of errors exceeding each threshold (Figures 6 and 8)."""
+    errors = np.asarray(absolute_relative_errors, dtype=float)
+    thresholds = np.asarray(thresholds, dtype=float)
+    if errors.ndim != 1:
+        raise ValueError("absolute_relative_errors must be 1-D")
+    return np.array([float(np.mean(errors > t)) for t in thresholds])
+
+
+@dataclass(frozen=True)
+class ErrorSummary:
+    """All error metrics of one (algorithm, cardinality) cell.
+
+    Attributes mirror the columns of Tables 3-4: ``l1`` and ``l2`` are the
+    mean absolute and root-mean-square relative errors, ``q99`` the 99%
+    quantile of the absolute relative error; ``bias`` is the mean signed
+    relative error (used by the unbiasedness checks).
+    """
+
+    truth: float
+    replicates: int
+    l1: float
+    l2: float
+    q99: float
+    bias: float
+
+    def as_dict(self) -> dict[str, float]:
+        """Plain-dict view (used by the table formatters)."""
+        return {
+            "truth": self.truth,
+            "replicates": float(self.replicates),
+            "l1": self.l1,
+            "l2": self.l2,
+            "q99": self.q99,
+            "bias": self.bias,
+        }
+
+
+def summarize_errors(estimates: np.ndarray, truth: float) -> ErrorSummary:
+    """Compute every metric of :class:`ErrorSummary` for one cell."""
+    estimates = np.asarray(estimates, dtype=float)
+    if estimates.ndim != 1 or estimates.size == 0:
+        raise ValueError("estimates must be a non-empty 1-D array")
+    errors = relative_errors(estimates, truth)
+    return ErrorSummary(
+        truth=float(truth),
+        replicates=int(estimates.size),
+        l1=float(np.mean(np.abs(errors))),
+        l2=float(np.sqrt(np.mean(errors**2))),
+        q99=float(np.quantile(np.abs(errors), 0.99)),
+        bias=float(np.mean(errors)),
+    )

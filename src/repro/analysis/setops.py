@@ -1,0 +1,108 @@
+"""Distributed / multi-set estimation helpers built on mergeable sketches.
+
+A common deployment pattern (e.g. counting distinct flows across several
+monitored links, or distinct users across data centres) keeps one sketch per
+site and combines them at query time.  The S-bitmap itself is *not* mergeable
+-- its state depends on the arrival order of new distinct items -- which the
+paper acknowledges implicitly by evaluating per-link counting only.  The
+mergeable baselines (linear counting, virtual/mr bitmaps, FM, LogLog,
+HyperLogLog, KMV) support:
+
+* :func:`union_estimate` -- cardinality of the union of several streams,
+* :func:`intersection_estimate` -- inclusion--exclusion estimate of the
+  intersection of two streams,
+* :func:`jaccard_estimate` -- Jaccard similarity derived from the same
+  quantities (or the KMV-native estimator when both sketches are KMV),
+* :func:`overlap_matrix` -- pairwise intersection estimates for a fleet of
+  sketches.
+
+These helpers never mutate their inputs (they merge copies).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.sketches.base import DistinctCounter, NotMergeableError
+from repro.sketches.kmv import KMinimumValues
+
+__all__ = [
+    "union_estimate",
+    "intersection_estimate",
+    "jaccard_estimate",
+    "overlap_matrix",
+]
+
+
+def _check_mergeable(sketches: list[DistinctCounter]) -> None:
+    if not sketches:
+        raise ValueError("at least one sketch is required")
+    for sketch in sketches:
+        if not sketch.mergeable:
+            raise NotMergeableError(
+                f"{type(sketch).__name__} cannot be merged; use a mergeable "
+                "sketch (linear counting, HyperLogLog, KMV, ...) for set "
+                "operations, or count the concatenated stream directly"
+            )
+
+
+def union_estimate(sketches: list[DistinctCounter]) -> float:
+    """Estimate the number of distinct items in the union of all streams.
+
+    The inputs are combined by merging *copies*, so the originals can keep
+    receiving updates afterwards.
+    """
+    _check_mergeable(sketches)
+    combined = sketches[0].copy()
+    for other in sketches[1:]:
+        combined.merge(other.copy())
+    return combined.estimate()
+
+
+def intersection_estimate(left: DistinctCounter, right: DistinctCounter) -> float:
+    """Inclusion--exclusion estimate ``|A| + |B| - |A u B|`` (clipped at 0).
+
+    The estimate inherits the variance of its three ingredients, so it is
+    only meaningful when the true intersection is not much smaller than the
+    sketches' absolute error -- the classical limitation of sketch-based
+    intersection estimates.
+    """
+    _check_mergeable([left, right])
+    union = union_estimate([left, right])
+    return max(0.0, left.estimate() + right.estimate() - union)
+
+
+def jaccard_estimate(left: DistinctCounter, right: DistinctCounter) -> float:
+    """Estimate the Jaccard similarity ``|A n B| / |A u B|`` of two streams.
+
+    KMV sketches use their native resemblance estimator (comparing the merged
+    bottom-k synopsis), which has much lower variance than inclusion--
+    exclusion; every other mergeable pair falls back to the ratio of the
+    inclusion--exclusion estimates.
+    """
+    if isinstance(left, KMinimumValues) and isinstance(right, KMinimumValues):
+        return left.jaccard(right)
+    union = union_estimate([left, right])
+    if union <= 0.0:
+        return 0.0
+    intersection = max(0.0, left.estimate() + right.estimate() - union)
+    return min(1.0, intersection / union)
+
+
+def overlap_matrix(sketches: list[DistinctCounter]) -> np.ndarray:
+    """Pairwise intersection estimates for a fleet of sketches.
+
+    Returns a symmetric matrix whose diagonal holds each sketch's own
+    cardinality estimate and whose off-diagonal entries are
+    :func:`intersection_estimate` of the corresponding pair.
+    """
+    _check_mergeable(sketches)
+    size = len(sketches)
+    matrix = np.zeros((size, size), dtype=float)
+    for row in range(size):
+        matrix[row, row] = sketches[row].estimate()
+        for column in range(row + 1, size):
+            value = intersection_estimate(sketches[row], sketches[column])
+            matrix[row, column] = value
+            matrix[column, row] = value
+    return matrix

@@ -1,0 +1,70 @@
+"""Plain-text and Markdown table rendering for the experiment drivers.
+
+Every experiment module in :mod:`repro.experiments` ends by printing the rows
+of the corresponding paper table or the series of the corresponding figure;
+these helpers keep that output aligned and consistent without pulling in any
+plotting or table dependency.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+__all__ = ["format_table", "format_markdown_table", "format_number"]
+
+
+def format_number(value: object, precision: int = 3) -> str:
+    """Human-friendly rendering of ints, floats and everything else."""
+    if isinstance(value, bool):
+        return str(value)
+    if isinstance(value, int):
+        return str(value)
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        magnitude = abs(value)
+        if magnitude >= 1e6 or magnitude < 1e-3:
+            return f"{value:.{precision}e}"
+        return f"{value:.{precision}f}".rstrip("0").rstrip(".")
+    return str(value)
+
+
+def _stringify(rows: Iterable[Sequence[object]], precision: int) -> list[list[str]]:
+    return [[format_number(cell, precision) for cell in row] for row in rows]
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    precision: int = 3,
+) -> str:
+    """Render an aligned, plain-text table (monospace friendly)."""
+    string_rows = _stringify(rows, precision)
+    widths = [len(header) for header in headers]
+    for row in string_rows:
+        if len(row) != len(headers):
+            raise ValueError("every row must have one cell per header")
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    def render_row(cells: Sequence[str]) -> str:
+        return "  ".join(cell.rjust(widths[index]) for index, cell in enumerate(cells))
+
+    lines = [render_row(list(headers)), render_row(["-" * width for width in widths])]
+    lines.extend(render_row(row) for row in string_rows)
+    return "\n".join(lines)
+
+
+def format_markdown_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    precision: int = 3,
+) -> str:
+    """Render a GitHub-flavoured Markdown table."""
+    string_rows = _stringify(rows, precision)
+    for row in string_rows:
+        if len(row) != len(headers):
+            raise ValueError("every row must have one cell per header")
+    header_line = "| " + " | ".join(headers) + " |"
+    separator = "| " + " | ".join("---" for _ in headers) + " |"
+    body = ["| " + " | ".join(row) + " |" for row in string_rows]
+    return "\n".join([header_line, separator, *body])

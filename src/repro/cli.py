@@ -1,0 +1,211 @@
+"""Command-line interface: ``sbitmap <command>`` (or ``python -m repro.cli``).
+
+Commands
+--------
+``count``      Count distinct lines of a file (or stdin) with any registered
+               sketch and report the estimate (plus the exact answer with
+               ``--exact`` for validation).
+``dimension``  Solve the dimensioning rule: memory needed for a target
+               ``(N, epsilon)``, or the error achieved by a given ``(m, N)``,
+               with the HyperLogLog / LogLog comparison of Section 6.2.
+``experiment`` Run one of the paper's experiment drivers (``figure2``,
+               ``table3``, ...) with reduced default replicates and print the
+               reproduced rows/series.
+``sketches``   List the registered algorithms.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Iterable, Sequence
+
+from repro.analysis.memory import memory_budget_report
+from repro.analysis.tables import format_table
+from repro.core.dimensioning import SBitmapDesign, memory_for_error
+from repro.sketches import available_sketches, create_sketch
+from repro.sketches.exact import ExactCounter
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the top-level argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="sbitmap",
+        description="Distinct counting with a self-learning bitmap (ICDE 2009 reproduction)",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    count = subparsers.add_parser("count", help="count distinct lines of a file/stdin")
+    count.add_argument("path", nargs="?", default="-", help="input file, '-' for stdin")
+    count.add_argument("--algorithm", default="sbitmap", help="registered sketch name")
+    count.add_argument("--memory-bits", type=int, default=8000, help="memory budget")
+    count.add_argument("--n-max", type=int, default=1_000_000, help="range bound N")
+    count.add_argument("--seed", type=int, default=0, help="hash seed")
+    count.add_argument(
+        "--exact", action="store_true", help="also compute the exact count"
+    )
+
+    dimension = subparsers.add_parser(
+        "dimension", help="solve the S-bitmap dimensioning rule"
+    )
+    dimension.add_argument("--n-max", type=int, required=True, help="range bound N")
+    group = dimension.add_mutually_exclusive_group(required=True)
+    group.add_argument("--error", type=float, help="target RRMSE, e.g. 0.01")
+    group.add_argument("--memory-bits", type=int, help="available memory in bits")
+
+    experiment = subparsers.add_parser(
+        "experiment", help="run one of the paper's experiment drivers"
+    )
+    experiment.add_argument(
+        "name",
+        choices=[
+            "figure2",
+            "figure3",
+            "figure4",
+            "figure5",
+            "figure6",
+            "figure7",
+            "figure8",
+            "table2",
+            "table3",
+            "table4",
+            "ablations",
+        ],
+        help="experiment to run",
+    )
+    experiment.add_argument(
+        "--replicates", type=int, default=None, help="override the replicate count"
+    )
+    experiment.add_argument("--seed", type=int, default=0, help="master seed")
+
+    subparsers.add_parser("sketches", help="list registered sketch names")
+    return parser
+
+
+def _read_items(path: str) -> Iterable[str]:
+    if path == "-":
+        for line in sys.stdin:
+            yield line.rstrip("\n")
+        return
+    with open(path, "r", encoding="utf-8") as handle:
+        for line in handle:
+            yield line.rstrip("\n")
+
+
+def _command_count(args: argparse.Namespace) -> int:
+    sketch = create_sketch(args.algorithm, args.memory_bits, args.n_max, seed=args.seed)
+    exact = ExactCounter() if args.exact else None
+    for item in _read_items(args.path):
+        sketch.add(item)
+        if exact is not None:
+            exact.add(item)
+    rows: list[list[object]] = [
+        ["algorithm", args.algorithm],
+        ["memory bits", sketch.memory_bits()],
+        ["estimate", round(sketch.estimate(), 1)],
+    ]
+    if exact is not None:
+        truth = exact.estimate()
+        rows.append(["exact", int(truth)])
+        if truth > 0:
+            rows.append(
+                ["relative error (%)", round(100 * (sketch.estimate() / truth - 1), 2)]
+            )
+    print(format_table(["field", "value"], rows))
+    return 0
+
+
+def _command_dimension(args: argparse.Namespace) -> int:
+    if args.error is not None:
+        bits = memory_for_error(args.n_max, args.error)
+        design = SBitmapDesign.from_error(args.n_max, args.error)
+        comparison = memory_budget_report(args.n_max, args.error)
+        rows = [
+            ["target RRMSE (%)", round(100 * args.error, 3)],
+            ["S-bitmap memory (bits)", round(bits, 1)],
+            ["precision constant C", round(design.precision, 1)],
+            ["truncation level b_max", design.max_fill],
+            ["HyperLogLog memory (bits)", round(comparison.hyperloglog, 1)],
+            ["LogLog memory (bits)", round(comparison.loglog, 1)],
+            ["HLL / S-bitmap ratio", round(comparison.hll_to_sbitmap_ratio, 2)],
+        ]
+    else:
+        design = SBitmapDesign.from_memory(args.memory_bits, args.n_max)
+        comparison = memory_budget_report(args.n_max, design.rrmse)
+        rows = [
+            ["memory (bits)", args.memory_bits],
+            ["achieved RRMSE (%)", round(100 * design.rrmse, 3)],
+            ["precision constant C", round(design.precision, 1)],
+            ["truncation level b_max", design.max_fill],
+            ["HyperLogLog memory for same error (bits)", round(comparison.hyperloglog, 1)],
+        ]
+    print(format_table(["field", "value"], rows))
+    return 0
+
+
+def _command_experiment(args: argparse.Namespace) -> int:
+    import inspect
+
+    from repro import experiments
+
+    name = args.name
+    if name == "ablations":
+        module = experiments.ablations
+        print(module.format_truncation(module.run_truncation_ablation(seed=args.seed)))
+        print()
+        print(
+            module.format_path_agreement(
+                module.run_path_agreement_ablation(seed=args.seed)
+            )
+        )
+        print()
+        print(
+            module.format_hash_families(module.run_hash_family_ablation(seed=args.seed))
+        )
+        print()
+        print(module.format_markov_exact(module.run_markov_exact_ablation(seed=args.seed)))
+        print()
+        print(
+            module.format_operation_counts(
+                module.run_operation_count_ablation(seed=args.seed)
+            )
+        )
+        return 0
+    module = getattr(experiments, name)
+    parameters = inspect.signature(module.run).parameters
+    run_kwargs: dict[str, object] = {}
+    if args.replicates is not None and "replicates" in parameters:
+        run_kwargs["replicates"] = args.replicates
+    if "seed" in parameters:
+        run_kwargs["seed"] = args.seed
+    result = module.run(**run_kwargs)
+    print(module.format_result(result))
+    return 0
+
+
+def _command_sketches() -> int:
+    for name in available_sketches():
+        print(name)
+    return 0
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """Entry point for the ``sbitmap`` console script."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.command == "count":
+        return _command_count(args)
+    if args.command == "dimension":
+        return _command_dimension(args)
+    if args.command == "experiment":
+        return _command_experiment(args)
+    if args.command == "sketches":
+        return _command_sketches()
+    parser.error(f"unknown command {args.command!r}")  # pragma: no cover
+    return 2  # pragma: no cover
+
+
+if __name__ == "__main__":  # pragma: no cover - manual driver
+    raise SystemExit(main())

@@ -1,0 +1,50 @@
+"""Core S-bitmap implementation: the paper's primary contribution.
+
+* :mod:`repro.core.dimensioning` -- the dimensioning rule of Section 5
+  linking bitmap size ``m``, range bound ``N`` and precision constant ``C``.
+* :mod:`repro.core.estimator` -- the ``t_B`` estimator of Section 4.2 with
+  the truncation rule (8).
+* :mod:`repro.core.sbitmap` -- the streaming sketch (Algorithm 2).
+* :mod:`repro.core.markov` -- the non-stationary Markov-chain model of
+  Section 4.1, used for exact analysis and validation.
+* :mod:`repro.core.theory` -- closed-form memory/accuracy trade-offs of
+  Sections 5.1 and 6.2 (S-bitmap vs LogLog vs HyperLogLog).
+* :mod:`repro.core.confidence` -- confidence intervals for the estimate
+  (an extension beyond the paper's point-estimate analysis).
+"""
+
+from repro.core.confidence import (
+    ConfidenceInterval,
+    fill_time_interval,
+    normal_interval,
+)
+from repro.core.dimensioning import (
+    SBitmapDesign,
+    design_from_error,
+    design_from_memory,
+    max_cardinality,
+    memory_approximation,
+    memory_for_error,
+    solve_precision_constant,
+)
+from repro.core.estimator import SBitmapEstimator
+from repro.core.markov import SBitmapMarkovChain
+from repro.core.sbitmap import SBitmap
+from repro.core import theory
+
+__all__ = [
+    "ConfidenceInterval",
+    "SBitmap",
+    "SBitmapDesign",
+    "SBitmapEstimator",
+    "SBitmapMarkovChain",
+    "fill_time_interval",
+    "normal_interval",
+    "design_from_error",
+    "design_from_memory",
+    "max_cardinality",
+    "memory_approximation",
+    "memory_for_error",
+    "solve_precision_constant",
+    "theory",
+]

@@ -1,0 +1,303 @@
+"""Dimensioning rule for the S-bitmap (Section 5 of the paper).
+
+The S-bitmap is configured by three coupled quantities:
+
+* ``m``  -- the bitmap size in bits,
+* ``N``  -- the largest cardinality the sketch must estimate accurately,
+* ``C``  -- the precision constant; the relative root mean square error of
+  the estimator is ``epsilon = (C - 1)^(-1/2)`` (Theorem 3).
+
+Theorem 2 derives the sequential sampling rates that make the relative error
+of every fill time ``T_b`` equal to ``C^(-1/2)``:
+
+    r     = 1 - 2 / (C + 1)
+    q_b   = (1 + 1/C) * r^b                      (fill-rate of the chain)
+    p_b   = m / (m + 1 - b) * (1 + 1/C) * r^b    (per-item sampling rate)
+    t_b   = E[T_b] = (C / 2) * (r^(-b) - 1)      (expected items to fill b bits)
+
+and equation (7) links the three parameters:
+
+    m = C/2 + ln(1 + 2 N / C) / ln(1 + 2 / (C - 1)).
+
+This module solves that equation in all three directions (``C`` from
+``(m, N)``, ``m`` from ``(N, epsilon)``, ``N`` from ``(m, C)``), produces the
+full rate tables, and packages everything in the immutable
+:class:`SBitmapDesign` consumed by the sketch, the estimator and the
+simulators.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = [
+    "SBitmapDesign",
+    "design_from_memory",
+    "design_from_error",
+    "memory_for_error",
+    "solve_precision_constant",
+    "max_cardinality",
+    "memory_approximation",
+]
+
+
+def _equation7(precision: float, n_max: float) -> float:
+    """Right-hand side of equation (7): the bitmap size implied by ``(C, N)``."""
+    if precision <= 1.0:
+        raise ValueError(f"precision constant C must exceed 1, got {precision}")
+    return precision / 2.0 + math.log1p(2.0 * n_max / precision) / math.log1p(
+        2.0 / (precision - 1.0)
+    )
+
+
+def solve_precision_constant(num_bits: int, n_max: int) -> float:
+    """Solve equation (7) for the precision constant ``C`` given ``(m, N)``.
+
+    The right-hand side of (7) is strictly increasing in ``C`` (a larger
+    precision constant always costs more memory), so a bisection search over
+    ``C in (1, 2m)`` converges to machine precision.
+
+    Parameters
+    ----------
+    num_bits:
+        Bitmap size ``m`` in bits.
+    n_max:
+        Upper bound ``N`` on the cardinalities to be estimated.
+
+    Returns
+    -------
+    float
+        The precision constant ``C``; the theoretical RRMSE is
+        ``(C - 1)^(-1/2)``.
+    """
+    _validate_m_n(num_bits, n_max)
+    # The memory must at least accommodate the C/2 term, so C < 2m.  The lower
+    # bracket starts just above 1 where equation (7) diverges to +infinity
+    # (ln(1 + 2/(C-1)) -> infinity makes the second term vanish, but C/2 -> 1/2,
+    # i.e. f(C->1+) -> 1/2 + 0 which is *below* m).  f is increasing, so
+    # bracket [1 + tiny, 2m].
+    lo = 1.0 + 1e-12
+    hi = 2.0 * float(num_bits)
+    f_lo = _equation7(lo, n_max) - num_bits
+    f_hi = _equation7(hi, n_max) - num_bits
+    if f_lo > 0:
+        raise ValueError(
+            f"bitmap of {num_bits} bits is too small to cover N={n_max} "
+            "with any meaningful accuracy"
+        )
+    if f_hi < 0:  # pragma: no cover - cannot happen since f(2m) >= m
+        raise ValueError("failed to bracket the precision constant")
+    for _ in range(200):
+        mid = 0.5 * (lo + hi)
+        if _equation7(mid, n_max) - num_bits > 0:
+            hi = mid
+        else:
+            lo = mid
+        if hi - lo <= 1e-10 * max(1.0, lo):
+            break
+    return 0.5 * (lo + hi)
+
+
+def memory_for_error(n_max: int, target_rrmse: float, *, exact: bool = True) -> float:
+    """Bits of memory needed for RRMSE ``epsilon`` up to cardinality ``N``.
+
+    With ``exact=True`` (default) this evaluates equation (7) at
+    ``C = 1 + epsilon^(-2)``; with ``exact=False`` it uses the asymptotic
+    approximation from Section 5.1,
+    ``m ~= epsilon^(-2) (1 + ln(1 + 2 N epsilon^2)) / 2``.
+    """
+    _validate_error(target_rrmse)
+    if n_max < 1:
+        raise ValueError(f"n_max must be at least 1, got {n_max}")
+    precision = 1.0 + target_rrmse**-2
+    if exact:
+        return _equation7(precision, n_max)
+    return memory_approximation(n_max, target_rrmse)
+
+
+def memory_approximation(n_max: int, target_rrmse: float) -> float:
+    """Asymptotic memory approximation of Section 5.1 (bits)."""
+    _validate_error(target_rrmse)
+    eps_sq = target_rrmse**2
+    return 0.5 * (1.0 + math.log1p(2.0 * n_max * eps_sq)) / eps_sq
+
+
+def max_cardinality(num_bits: int, precision: float) -> float:
+    """Largest ``N`` reachable by an ``m``-bit S-bitmap with constant ``C``.
+
+    Inverts equation (6): ``N = (C/2) (r^{-(m - C/2)} - 1)``.
+    """
+    if precision <= 1.0:
+        raise ValueError(f"precision constant C must exceed 1, got {precision}")
+    if num_bits <= precision / 2.0:
+        raise ValueError("bitmap too small for the requested precision constant")
+    ratio = 1.0 - 2.0 / (precision + 1.0)
+    exponent = num_bits - precision / 2.0
+    return precision / 2.0 * (ratio**-exponent - 1.0)
+
+
+@dataclass(frozen=True)
+class SBitmapDesign:
+    """Immutable configuration of an S-bitmap.
+
+    Attributes
+    ----------
+    num_bits:
+        Bitmap size ``m``.
+    n_max:
+        Target upper bound ``N`` on cardinalities.
+    precision:
+        The constant ``C`` solving equation (7); theoretical RRMSE is
+        :attr:`rrmse`.
+    ratio:
+        The geometric ratio ``r = 1 - 2/(C+1)``.
+    max_fill:
+        The truncation level ``b_max = floor(m - C/2)`` of equation (8).
+        Sampling rates beyond ``b_max`` are clamped to ``p_{b_max}`` so the
+        monotonicity condition of Lemma 1 is preserved.
+    """
+
+    num_bits: int
+    n_max: int
+    precision: float
+    ratio: float = field(init=False)
+    max_fill: int = field(init=False)
+
+    def __post_init__(self) -> None:
+        _validate_m_n(self.num_bits, self.n_max)
+        if self.precision <= 1.0:
+            raise ValueError(
+                f"precision constant C must exceed 1, got {self.precision}"
+            )
+        object.__setattr__(self, "ratio", 1.0 - 2.0 / (self.precision + 1.0))
+        max_fill = int(math.floor(self.num_bits - self.precision / 2.0))
+        max_fill = max(1, min(max_fill, self.num_bits))
+        object.__setattr__(self, "max_fill", max_fill)
+
+    # ------------------------------------------------------------------ #
+    # scalar properties
+    # ------------------------------------------------------------------ #
+
+    @property
+    def rrmse(self) -> float:
+        """Theoretical relative root mean square error ``(C-1)^(-1/2)``."""
+        return (self.precision - 1.0) ** -0.5
+
+    @property
+    def memory_bits(self) -> int:
+        """Memory consumed by the summary statistic itself (the bitmap)."""
+        return self.num_bits
+
+    # ------------------------------------------------------------------ #
+    # rate tables (1-indexed semantics, returned as length-(m+1) arrays with
+    # index 0 unused/zero so that table[b] corresponds to the paper's b)
+    # ------------------------------------------------------------------ #
+
+    def fill_rates(self) -> np.ndarray:
+        """Markov-chain fill rates ``q_b`` for ``b = 1..m`` (index 0 is NaN).
+
+        ``q_b = (1 + 1/C) r^b`` for ``b <= b_max``; beyond the truncation
+        level the *sampling* rate is clamped (see :meth:`sampling_rates`), so
+        ``q_b = (1 - (b-1)/m) p_{b_max}`` there.
+        """
+        b = np.arange(self.num_bits + 1, dtype=float)
+        q = (1.0 + 1.0 / self.precision) * self.ratio**b
+        p = self.sampling_rates()
+        occupancy = 1.0 - (b - 1.0) / self.num_bits
+        clamped = occupancy * p
+        q[self.max_fill + 1 :] = clamped[self.max_fill + 1 :]
+        q[0] = np.nan
+        return q
+
+    def sampling_rates(self) -> np.ndarray:
+        """Per-item sampling rates ``p_b`` for ``b = 1..m`` (index 0 is NaN).
+
+        ``p_b = m/(m+1-b) (1 + 1/C) r^b`` for ``b <= b_max`` and
+        ``p_b = p_{b_max}`` afterwards (the clamp discussed in the Remark of
+        Section 5.1, which keeps the sequence non-increasing as Lemma 1
+        requires).
+        """
+        b = np.arange(self.num_bits + 1, dtype=float)
+        with np.errstate(divide="ignore"):
+            p = (
+                self.num_bits
+                / (self.num_bits + 1.0 - b)
+                * (1.0 + 1.0 / self.precision)
+                * self.ratio**b
+            )
+        p[0] = np.nan
+        clamp_value = p[self.max_fill]
+        p[self.max_fill + 1 :] = clamp_value
+        return np.minimum(p, 1.0)
+
+    def expected_fill_times(self) -> np.ndarray:
+        """Expected fill times ``t_b = E[T_b]`` for ``b = 0..m``.
+
+        ``t_b = (C/2)(r^{-b} - 1)`` for ``b <= b_max``; beyond the truncation
+        level the values continue with the clamped fill rates
+        (``t_b = t_{b-1} + 1/q_b``) purely for completeness -- the estimator
+        never reads them because ``B`` is truncated at ``b_max``.
+        """
+        q = self.fill_rates()
+        t = np.zeros(self.num_bits + 1, dtype=float)
+        b = np.arange(self.max_fill + 1, dtype=float)
+        t[: self.max_fill + 1] = self.precision / 2.0 * (self.ratio**-b - 1.0)
+        for index in range(self.max_fill + 1, self.num_bits + 1):
+            t[index] = t[index - 1] + 1.0 / q[index]
+        return t
+
+    # ------------------------------------------------------------------ #
+    # constructors
+    # ------------------------------------------------------------------ #
+
+    @classmethod
+    def from_memory(cls, num_bits: int, n_max: int) -> "SBitmapDesign":
+        """Design an S-bitmap given a memory budget ``m`` and range bound ``N``."""
+        precision = solve_precision_constant(num_bits, n_max)
+        return cls(num_bits=num_bits, n_max=n_max, precision=precision)
+
+    @classmethod
+    def from_error(cls, n_max: int, target_rrmse: float) -> "SBitmapDesign":
+        """Design an S-bitmap given a target RRMSE and range bound ``N``."""
+        _validate_error(target_rrmse)
+        bits = int(math.ceil(memory_for_error(n_max, target_rrmse)))
+        precision = solve_precision_constant(bits, n_max)
+        return cls(num_bits=bits, n_max=n_max, precision=precision)
+
+    def describe(self) -> dict[str, float]:
+        """Plain-dict summary used by the CLI and the experiment drivers."""
+        return {
+            "num_bits": float(self.num_bits),
+            "n_max": float(self.n_max),
+            "precision": self.precision,
+            "rrmse": self.rrmse,
+            "ratio": self.ratio,
+            "max_fill": float(self.max_fill),
+        }
+
+
+def design_from_memory(num_bits: int, n_max: int) -> SBitmapDesign:
+    """Module-level alias of :meth:`SBitmapDesign.from_memory`."""
+    return SBitmapDesign.from_memory(num_bits, n_max)
+
+
+def design_from_error(n_max: int, target_rrmse: float) -> SBitmapDesign:
+    """Module-level alias of :meth:`SBitmapDesign.from_error`."""
+    return SBitmapDesign.from_error(n_max, target_rrmse)
+
+
+def _validate_m_n(num_bits: int, n_max: int) -> None:
+    if num_bits < 8:
+        raise ValueError(f"bitmap size must be at least 8 bits, got {num_bits}")
+    if n_max < 1:
+        raise ValueError(f"n_max must be at least 1, got {n_max}")
+
+
+def _validate_error(target_rrmse: float) -> None:
+    if not 0.0 < target_rrmse < 1.0:
+        raise ValueError(
+            f"target RRMSE must lie strictly between 0 and 1, got {target_rrmse}"
+        )

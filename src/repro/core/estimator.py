@@ -1,0 +1,110 @@
+"""The S-bitmap estimator (Section 4.2 and equation (8)).
+
+Given the number of set bits ``B`` at query time, the estimator is
+
+    n_hat = t_B = sum_{k=1}^{B} 1 / q_k = (C / 2) (r^{-B} - 1),
+
+i.e. the expected number of distinct items needed to fill ``B`` buckets.
+Theorem 3 shows ``E[n_hat] = n`` and ``RRMSE(n_hat) = (C - 1)^{-1/2}``.
+
+In implementation the observed fill count is truncated at
+``b_max = floor(m - C/2)`` (equation (8)), because beyond that level the
+monotonicity of the sampling rates had to be clamped; equivalently the
+estimate is capped at (approximately) ``N``.
+
+:class:`SBitmapEstimator` precomputes the ``t_b`` table once per design and
+is shared by the streaming sketch, the Markov-chain model and the fast
+simulators.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.dimensioning import SBitmapDesign
+
+__all__ = ["SBitmapEstimator"]
+
+
+@dataclass(frozen=True)
+class SBitmapEstimator:
+    """Maps fill counts ``B`` to cardinality estimates ``t_B`` (and back)."""
+
+    design: SBitmapDesign
+    _fill_times: np.ndarray = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "_fill_times", self.design.expected_fill_times())
+
+    # ------------------------------------------------------------------ #
+    # forward direction: fill count -> estimate
+    # ------------------------------------------------------------------ #
+
+    def truncate_fill(self, fill_count: int) -> int:
+        """Apply equation (8): cap the observed fill count at ``b_max``."""
+        if fill_count < 0:
+            raise ValueError(f"fill count must be non-negative, got {fill_count}")
+        if fill_count > self.design.num_bits:
+            raise ValueError(
+                f"fill count {fill_count} exceeds the bitmap size "
+                f"{self.design.num_bits}"
+            )
+        return min(fill_count, self.design.max_fill)
+
+    def estimate(self, fill_count: int) -> float:
+        """Cardinality estimate ``t_B`` for an observed fill count ``B``."""
+        return float(self._fill_times[self.truncate_fill(fill_count)])
+
+    def estimate_many(self, fill_counts: np.ndarray) -> np.ndarray:
+        """Vectorised :meth:`estimate` for arrays of fill counts."""
+        counts = np.asarray(fill_counts, dtype=np.int64)
+        if counts.size and (counts.min() < 0 or counts.max() > self.design.num_bits):
+            raise ValueError("fill counts out of range for this design")
+        truncated = np.minimum(counts, self.design.max_fill)
+        return self._fill_times[truncated]
+
+    # ------------------------------------------------------------------ #
+    # inverse direction: cardinality -> expected fill count
+    # ------------------------------------------------------------------ #
+
+    def expected_fill(self, cardinality: float) -> float:
+        """Real-valued ``b`` with ``t_b = cardinality`` (inverse of ``t_b``).
+
+        Useful for dimensioning sanity checks and for the Markov-model
+        diagnostics; clipped to ``[0, b_max]``.
+        """
+        if cardinality < 0:
+            raise ValueError(f"cardinality must be non-negative, got {cardinality}")
+        if cardinality == 0:
+            return 0.0
+        ratio = self.design.ratio
+        precision = self.design.precision
+        raw = -np.log1p(2.0 * cardinality / precision) / np.log(ratio)
+        return float(np.clip(raw, 0.0, self.design.max_fill))
+
+    # ------------------------------------------------------------------ #
+    # theoretical moments (Lemma 1 / Theorem 3)
+    # ------------------------------------------------------------------ #
+
+    def fill_time_mean(self, fill_count: int) -> float:
+        """``E[T_b]`` -- expected number of distinct items to fill ``b`` bits."""
+        return float(self._fill_times[self.truncate_fill(fill_count)])
+
+    def fill_time_variance(self, fill_count: int) -> float:
+        """``var(T_b) = sum_{k<=b} (1 - q_k) / q_k^2`` from Lemma 1."""
+        b = self.truncate_fill(fill_count)
+        q = self.design.fill_rates()[1 : b + 1]
+        return float(np.sum((1.0 - q) / q**2))
+
+    def theoretical_rrmse(self) -> float:
+        """``(C - 1)^{-1/2}`` from Theorem 3."""
+        return self.design.rrmse
+
+    @property
+    def fill_times(self) -> np.ndarray:
+        """The full ``t_b`` table, ``b = 0..m`` (read-only view)."""
+        view = self._fill_times.view()
+        view.flags.writeable = False
+        return view

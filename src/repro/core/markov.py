@@ -1,0 +1,160 @@
+"""Non-stationary Markov chain model of the S-bitmap fill process (Section 4.1).
+
+Theorem 1: with fill rates ``q_k = (1 - (k-1)/m) p_k``, the number of set bits
+``L_t`` after ``t`` distinct items follows
+
+    L_t = L_{t-1} + 1   with probability q_{L_{t-1} + 1},
+    L_t = L_{t-1}       otherwise,
+
+and (Lemma 1) the fill times ``T_k`` have independent geometric increments
+``T_k - T_{k-1} ~ Geometric(q_k)``.
+
+This module exposes the chain as an analysis object: exact forward evolution
+of the distribution of ``L_n`` (feasible for moderate ``n``), exact moments of
+the estimator via that distribution, the closed-form moments of Theorem 3, and
+normal approximations of the fill times used for quick dimensioning checks.
+It is the reference against which both the streaming sketch and the fast
+Monte-Carlo simulator are validated.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.dimensioning import SBitmapDesign
+from repro.core.estimator import SBitmapEstimator
+
+__all__ = ["SBitmapMarkovChain"]
+
+
+@dataclass(frozen=True)
+class SBitmapMarkovChain:
+    """Exact probabilistic model of the fill-count process ``{L_t}``."""
+
+    design: SBitmapDesign
+
+    # ------------------------------------------------------------------ #
+    # chain primitives
+    # ------------------------------------------------------------------ #
+
+    def fill_rates(self) -> np.ndarray:
+        """Transition (fill) rates ``q_k``, index ``k = 1..m`` (index 0 NaN)."""
+        return self.design.fill_rates()
+
+    def step_distribution(self, state_distribution: np.ndarray) -> np.ndarray:
+        """One exact forward step of the chain.
+
+        ``state_distribution[k]`` is ``P(L_t = k)``; the return value is the
+        distribution of ``L_{t+1}``.
+        """
+        probs = np.asarray(state_distribution, dtype=float)
+        if probs.shape != (self.design.num_bits + 1,):
+            raise ValueError(
+                "state distribution must have length num_bits + 1 "
+                f"({self.design.num_bits + 1}), got {probs.shape}"
+            )
+        q = self.design.fill_rates()
+        advance = np.zeros_like(probs)
+        # From state k the chain moves to k+1 with probability q_{k+1}.
+        move_prob = np.zeros_like(probs)
+        move_prob[:-1] = q[1:]
+        advance[1:] = probs[:-1] * move_prob[:-1]
+        stay = probs * (1.0 - move_prob)
+        return stay + advance
+
+    def fill_distribution(self, cardinality: int) -> np.ndarray:
+        """Exact distribution of ``L_n`` after ``cardinality`` distinct items.
+
+        Runs the forward recursion ``cardinality`` times; cost is
+        ``O(n * m)`` so keep ``n`` moderate (up to ~10^5 for m of a few
+        thousand).  Used by tests and by the exact-error ablation.
+        """
+        if cardinality < 0:
+            raise ValueError(f"cardinality must be non-negative, got {cardinality}")
+        distribution = np.zeros(self.design.num_bits + 1, dtype=float)
+        distribution[0] = 1.0
+        q = self.design.fill_rates()
+        move_prob = np.zeros_like(distribution)
+        move_prob[:-1] = q[1:]
+        stay_prob = 1.0 - move_prob
+        for _ in range(cardinality):
+            shifted = distribution * move_prob
+            distribution = distribution * stay_prob
+            distribution[1:] += shifted[:-1]
+        return distribution
+
+    # ------------------------------------------------------------------ #
+    # exact estimator moments through the chain
+    # ------------------------------------------------------------------ #
+
+    def estimator_moments(self, cardinality: int) -> tuple[float, float]:
+        """Exact ``(mean, variance)`` of the estimate ``t_B`` for a given ``n``.
+
+        Computed by pushing the exact distribution of ``L_n`` through the
+        (truncated) ``t_b`` table; this includes the truncation effect of
+        equation (8), unlike the closed forms of Theorem 3.
+        """
+        distribution = self.fill_distribution(cardinality)
+        estimator = SBitmapEstimator(self.design)
+        estimates = estimator.estimate_many(np.arange(self.design.num_bits + 1))
+        mean = float(np.dot(distribution, estimates))
+        second = float(np.dot(distribution, estimates**2))
+        return mean, max(second - mean**2, 0.0)
+
+    def exact_rrmse(self, cardinality: int) -> float:
+        """Exact RRMSE of the (truncated) estimator at a given cardinality."""
+        if cardinality <= 0:
+            raise ValueError("cardinality must be positive for a relative error")
+        distribution = self.fill_distribution(cardinality)
+        estimator = SBitmapEstimator(self.design)
+        estimates = estimator.estimate_many(np.arange(self.design.num_bits + 1))
+        relative_sq = (estimates / cardinality - 1.0) ** 2
+        return float(np.sqrt(np.dot(distribution, relative_sq)))
+
+    # ------------------------------------------------------------------ #
+    # closed forms (Theorem 3 / Lemma 1)
+    # ------------------------------------------------------------------ #
+
+    def theoretical_mean(self, cardinality: int) -> float:
+        """Theorem 3: the untruncated estimator is exactly unbiased."""
+        if cardinality < 0:
+            raise ValueError(f"cardinality must be non-negative, got {cardinality}")
+        return float(cardinality)
+
+    def theoretical_variance(self, cardinality: int) -> float:
+        """Theorem 3: ``var(t_B) = n^2 / (C - 1)`` (before truncation)."""
+        return float(cardinality) ** 2 / (self.design.precision - 1.0)
+
+    def theoretical_rrmse(self) -> float:
+        """Theorem 3: ``RRMSE = (C - 1)^{-1/2}``, independent of ``n``."""
+        return self.design.rrmse
+
+    def fill_time_mean(self, fill_count: int) -> float:
+        """``E[T_b] = sum_{k<=b} 1/q_k`` (Lemma 1)."""
+        return SBitmapEstimator(self.design).fill_time_mean(fill_count)
+
+    def fill_time_variance(self, fill_count: int) -> float:
+        """``var(T_b) = sum_{k<=b} (1-q_k)/q_k^2`` (Lemma 1)."""
+        return SBitmapEstimator(self.design).fill_time_variance(fill_count)
+
+    def fill_time_normal_approximation(
+        self, fill_count: int
+    ) -> tuple[float, float]:
+        """``(mean, std)`` of the normal approximation of ``T_b``.
+
+        ``T_b`` is a sum of ``b`` independent geometrics, so for moderate ``b``
+        a normal approximation is accurate; the relative std equals
+        ``C^{-1/2}`` by construction of the dimensioning rule (Theorem 2).
+        """
+        mean = self.fill_time_mean(fill_count)
+        std = self.fill_time_variance(fill_count) ** 0.5
+        return mean, std
+
+    def relative_fill_time_error(self, fill_count: int) -> float:
+        """``sqrt(var(T_b))/E[T_b]`` -- should equal ``C^{-1/2}`` (Theorem 2)."""
+        mean, std = self.fill_time_normal_approximation(fill_count)
+        if mean == 0:
+            return 0.0
+        return std / mean

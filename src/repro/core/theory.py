@@ -1,0 +1,168 @@
+"""Closed-form accuracy / memory trade-offs (Sections 5.1 and 6.2).
+
+This module gathers every analytic formula the paper uses when comparing
+S-bitmap with the log-counting family:
+
+* S-bitmap memory for a target ``(N, epsilon)`` -- equation (7) and its
+  asymptotic approximation,
+* LogLog and HyperLogLog memory for the same target, using the standard error
+  constants ``1.30 / sqrt(m_registers)`` and ``1.04 / sqrt(m_registers)`` and
+  a register width of ``ceil(log2 log2 N)`` bits (the paper's ``alpha``),
+* the memory-ratio surface of Figure 3 and the crossover error
+  ``epsilon* = sqrt(eta log2(N) / (2 e N))`` with ``eta ~= 3.1206`` below
+  which S-bitmap beats HyperLogLog,
+* linear-counting memory (Whang et al.) for completeness, since Section 2.2
+  motivates S-bitmap as the scalable replacement of the plain bitmap.
+
+These formulas power Table 2, Figure 3 and the dimensioning CLI.
+"""
+
+from __future__ import annotations
+
+import math
+
+__all__ = [
+    "LOGLOG_ERROR_CONSTANT",
+    "HYPERLOGLOG_ERROR_CONSTANT",
+    "CROSSOVER_ETA",
+    "register_width_bits",
+    "loglog_memory_bits",
+    "hyperloglog_memory_bits",
+    "loglog_registers_for_error",
+    "hyperloglog_registers_for_error",
+    "sbitmap_memory_bits",
+    "sbitmap_rrmse",
+    "linear_counting_memory_bits",
+    "memory_ratio_hll_to_sbitmap",
+    "crossover_error",
+]
+
+#: Asymptotic standard-error constants of the two log-counting estimators
+#: (Durand & Flajolet 2003; Flajolet et al. 2007): RRMSE ~ constant / sqrt(m).
+LOGLOG_ERROR_CONSTANT = 1.30
+HYPERLOGLOG_ERROR_CONSTANT = 1.04
+
+#: Constant in the S-bitmap-vs-HLL crossover condition of Section 5.1.
+CROSSOVER_ETA = 3.1206
+
+
+def register_width_bits(n_max: int) -> int:
+    """Bits per LogLog/HLL register: the paper's ``alpha = ceil(log2 log2 N)``.
+
+    The paper states ``alpha = k + 1`` when ``2^{2^k} <= N < 2^{2^{k+1}}``,
+    e.g. 4 bits for ``2^8 <= N < 2^16`` and 5 bits for ``2^16 <= N < 2^32``,
+    i.e. ``alpha = floor(log2 log2 N) + 1``.
+    """
+    if n_max < 2:
+        raise ValueError(f"n_max must be at least 2, got {n_max}")
+    log_log = math.log2(max(math.log2(n_max), 1.0))
+    return max(1, math.floor(log_log) + 1)
+
+
+def loglog_registers_for_error(target_rrmse: float) -> int:
+    """Number of LogLog registers needed for RRMSE ``epsilon``."""
+    _validate_error(target_rrmse)
+    return math.ceil((LOGLOG_ERROR_CONSTANT / target_rrmse) ** 2)
+
+
+def hyperloglog_registers_for_error(target_rrmse: float) -> int:
+    """Number of HyperLogLog registers needed for RRMSE ``epsilon``."""
+    _validate_error(target_rrmse)
+    return math.ceil((HYPERLOGLOG_ERROR_CONSTANT / target_rrmse) ** 2)
+
+
+def loglog_memory_bits(n_max: int, target_rrmse: float, *, exact_registers: bool = False) -> float:
+    """LogLog memory (bits) for RRMSE ``epsilon`` up to ``N``.
+
+    With ``exact_registers=False`` (default, as in Table 2) the register count
+    ``(1.30/epsilon)^2`` is used without rounding so the output matches the
+    paper's analytic table; with ``True`` the register count is rounded up.
+    """
+    width = register_width_bits(n_max)
+    if exact_registers:
+        return float(loglog_registers_for_error(target_rrmse) * width)
+    _validate_error(target_rrmse)
+    return (LOGLOG_ERROR_CONSTANT / target_rrmse) ** 2 * width
+
+
+def hyperloglog_memory_bits(
+    n_max: int, target_rrmse: float, *, exact_registers: bool = False
+) -> float:
+    """HyperLogLog memory (bits) for RRMSE ``epsilon`` up to ``N`` (Table 2)."""
+    width = register_width_bits(n_max)
+    if exact_registers:
+        return float(hyperloglog_registers_for_error(target_rrmse) * width)
+    _validate_error(target_rrmse)
+    return (HYPERLOGLOG_ERROR_CONSTANT / target_rrmse) ** 2 * width
+
+
+def sbitmap_memory_bits(n_max: int, target_rrmse: float) -> float:
+    """S-bitmap memory (bits) for RRMSE ``epsilon`` up to ``N`` (equation (7))."""
+    from repro.core.dimensioning import memory_for_error
+
+    return memory_for_error(n_max, target_rrmse)
+
+
+def sbitmap_rrmse(precision: float) -> float:
+    """Theoretical S-bitmap RRMSE ``(C - 1)^{-1/2}`` (Theorem 3)."""
+    if precision <= 1.0:
+        raise ValueError(f"precision constant C must exceed 1, got {precision}")
+    return (precision - 1.0) ** -0.5
+
+
+def linear_counting_memory_bits(n_max: int, target_rrmse: float) -> float:
+    """Approximate linear-counting memory for RRMSE ``epsilon`` at ``n = N``.
+
+    Whang et al. (1990): with ``m`` buckets and load ``t = n/m``, the standard
+    error of the LC estimate is ``sqrt(m) sqrt(e^t - t - 1) / n``.  Solving for
+    ``m`` at the worst case ``n = N`` requires a numeric search; we use the
+    conservative small-error expansion ``m ~= N (e^t - t - 1)/(t^2 eps^2 ...)``
+    reduced to the standard rule of thumb ``m ~= N / load`` with the load
+    solving ``(e^t - t - 1)/t^2 = eps^2 N``.  The function is here to document
+    why plain bitmaps need memory linear in ``N`` (Section 2.2) and is used by
+    the memory-comparison ablation only.
+    """
+    _validate_error(target_rrmse)
+    if n_max < 1:
+        raise ValueError(f"n_max must be at least 1, got {n_max}")
+    target = target_rrmse**2 * n_max
+    # Solve (e^t - t - 1) / t^2 = target for the load factor t by bisection.
+    lo, hi = 1e-9, 60.0
+    for _ in range(200):
+        mid = 0.5 * (lo + hi)
+        value = (math.exp(mid) - mid - 1.0) / mid**2
+        if value < target:
+            lo = mid
+        else:
+            hi = mid
+    load = 0.5 * (lo + hi)
+    return n_max / load
+
+
+def memory_ratio_hll_to_sbitmap(n_max: int, target_rrmse: float) -> float:
+    """Ratio (HLL memory) / (S-bitmap memory) at the same ``(N, epsilon)``.
+
+    Values above 1 mean S-bitmap is more memory-efficient; this is the surface
+    plotted as Figure 3.
+    """
+    return hyperloglog_memory_bits(n_max, target_rrmse) / sbitmap_memory_bits(
+        n_max, target_rrmse
+    )
+
+
+def crossover_error(n_max: int) -> float:
+    """Error level below which S-bitmap beats HyperLogLog (Section 5.1).
+
+    ``epsilon* = sqrt(eta * log2(N) / (2 e N))`` with ``eta ~= 3.1206``; for
+    ``epsilon < epsilon*`` the S-bitmap needs less memory than HyperLogLog.
+    """
+    if n_max < 2:
+        raise ValueError(f"n_max must be at least 2, got {n_max}")
+    return math.sqrt(CROSSOVER_ETA * math.log2(n_max) / (2.0 * math.e * n_max))
+
+
+def _validate_error(target_rrmse: float) -> None:
+    if not 0.0 < target_rrmse < 1.0:
+        raise ValueError(
+            f"target RRMSE must lie strictly between 0 and 1, got {target_rrmse}"
+        )

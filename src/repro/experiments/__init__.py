@@ -1,0 +1,49 @@
+"""Experiment drivers: one module per table / figure of the paper.
+
+Each module exposes a ``run(...)`` function returning a structured result
+object and a ``format_result(...)`` function producing the rows/series the
+paper reports; running a module as ``python -m repro.experiments.figure4``
+prints that rendering.  The benchmark harness in ``benchmarks/`` wraps the
+same ``run`` functions so every table and figure has a ``pytest-benchmark``
+target (see DESIGN.md for the experiment index and EXPERIMENTS.md for the
+paper-vs-measured record).
+"""
+
+from repro.experiments import (
+    ablations,
+    figure2,
+    figure3,
+    figure4,
+    figure5,
+    figure6,
+    figure7,
+    figure8,
+    table2,
+    table3,
+    table4,
+)
+
+__all__ = [
+    "ablations",
+    "figure2",
+    "figure3",
+    "figure4",
+    "figure5",
+    "figure6",
+    "figure7",
+    "figure8",
+    "report",
+    "table2",
+    "table3",
+    "table4",
+]
+
+
+def __getattr__(name: str):
+    # ``report`` imports every other experiment module, so it is loaded
+    # lazily to keep ``import repro.experiments`` light and cycle-free.
+    if name == "report":
+        import importlib
+
+        return importlib.import_module("repro.experiments.report")
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -1,0 +1,87 @@
+"""Figure 3: contour of the memory ratio HyperLogLog / S-bitmap over (eps, N).
+
+The paper plots the ratio of the two analytic memory requirements on a grid
+of target errors (x-axis, log scale, roughly 0.5% to 128%) and range bounds
+(y-axis, 10^3 to 10^7).  The contour labelled "1" separates the region where
+S-bitmap needs less memory (small eps and/or moderate N) from the region
+where HyperLogLog wins.  ``run`` evaluates the same surface and also reports
+the crossover error ``epsilon*(N)`` of Section 5.1 for each ``N``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.analysis.tables import format_table
+from repro.core import theory
+
+__all__ = ["Figure3Result", "run", "format_result"]
+
+
+@dataclass
+class Figure3Result:
+    """The ratio surface and the analytic crossover curve."""
+
+    epsilons: np.ndarray
+    n_values: np.ndarray
+    ratio: np.ndarray  # shape (len(n_values), len(epsilons))
+    crossover: np.ndarray  # epsilon*(N) per n value
+
+    def ratio_at(self, n_max: int, target_rrmse: float) -> float:
+        """Ratio HLL/S-bitmap at the grid point closest to the request."""
+        row = int(np.argmin(np.abs(self.n_values - n_max)))
+        col = int(np.argmin(np.abs(self.epsilons - target_rrmse)))
+        return float(self.ratio[row, col])
+
+
+def run(
+    epsilons: np.ndarray | None = None,
+    n_values: np.ndarray | None = None,
+) -> Figure3Result:
+    """Evaluate the memory-ratio surface on (a superset of) the paper's grid."""
+    if epsilons is None:
+        epsilons = np.geomspace(0.005, 0.64, 22)
+    else:
+        epsilons = np.asarray(epsilons, dtype=float)
+    if n_values is None:
+        n_values = np.array([10**k for k in range(3, 8)], dtype=float)
+    else:
+        n_values = np.asarray(n_values, dtype=float)
+    ratio = np.empty((n_values.size, epsilons.size))
+    for row, n_max in enumerate(n_values):
+        for col, eps in enumerate(epsilons):
+            ratio[row, col] = theory.memory_ratio_hll_to_sbitmap(int(n_max), float(eps))
+    crossover = np.array([theory.crossover_error(int(n)) for n in n_values])
+    return Figure3Result(
+        epsilons=epsilons, n_values=n_values, ratio=ratio, crossover=crossover
+    )
+
+
+def format_result(result: Figure3Result, max_columns: int = 8) -> str:
+    """Render a condensed view of the ratio surface plus the crossover curve."""
+    column_indices = np.linspace(0, result.epsilons.size - 1, max_columns).astype(int)
+    headers = ["N \\ eps"] + [f"{result.epsilons[i]:.3f}" for i in column_indices]
+    rows: list[list[object]] = []
+    for row_index, n_max in enumerate(result.n_values):
+        rows.append(
+            [f"{int(n_max):.0e}"]
+            + [round(float(result.ratio[row_index, i]), 2) for i in column_indices]
+        )
+    surface = format_table(headers, rows, precision=2)
+    crossover_rows = [
+        [f"{int(n):.0e}", round(float(eps), 4)]
+        for n, eps in zip(result.n_values, result.crossover)
+    ]
+    crossover = format_table(["N", "crossover eps*"], crossover_rows, precision=4)
+    return (
+        "Figure 3 -- memory ratio Hyper-LogLog / S-bitmap (values > 1: S-bitmap wins)\n"
+        + surface
+        + "\n\nAnalytic crossover error (Section 5.1)\n"
+        + crossover
+    )
+
+
+if __name__ == "__main__":  # pragma: no cover - manual driver
+    print(format_result(run()))

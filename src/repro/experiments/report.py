@@ -1,0 +1,126 @@
+"""Run every experiment and assemble a single reproduction report.
+
+``generate_report`` executes all table/figure drivers (with configurable
+replicate counts) and concatenates their formatted outputs into one text
+document -- the quickest way to regenerate the content of EXPERIMENTS.md
+after a code change.  ``python -m repro.experiments.report`` prints it;
+``--output`` writes it to a file.
+"""
+
+from __future__ import annotations
+
+import argparse
+import time
+from pathlib import Path
+
+from repro.experiments import (
+    ablations,
+    figure2,
+    figure3,
+    figure4,
+    figure5,
+    figure6,
+    figure7,
+    figure8,
+    table2,
+    table3,
+    table4,
+)
+
+__all__ = ["generate_report", "main"]
+
+
+def generate_report(
+    replicates: int = 100,
+    trace_minutes: int = 200,
+    num_links: int = 300,
+    seed: int = 0,
+    include_ablations: bool = True,
+) -> str:
+    """Run every experiment driver and return the combined text report.
+
+    Parameters are sized for a quick regeneration (a couple of minutes); use
+    ``replicates=1000, trace_minutes=540, num_links=600`` for the paper-scale
+    version.
+    """
+    sections: list[str] = []
+    started = time.time()
+
+    sections.append(figure2.format_result(figure2.run(replicates=replicates, seed=seed)))
+    sections.append(table2.format_result(table2.run()))
+    sections.append(figure3.format_result(figure3.run()))
+    sections.append(
+        figure4.format_result(
+            figure4.run(replicates=max(50, replicates // 2), seed=seed)
+        )
+    )
+    sections.append(table3.format_result(table3.run(replicates=replicates, seed=seed)))
+    sections.append(
+        table4.format_result(table4.run(replicates=max(50, replicates // 2), seed=seed))
+    )
+    sections.append(
+        figure5.format_result(figure5.run(num_minutes=trace_minutes, seed=seed))
+    )
+    sections.append(
+        figure6.format_result(figure6.run(num_minutes=trace_minutes, seed=seed))
+    )
+    sections.append(figure7.format_result(figure7.run(num_links=num_links, seed=seed)))
+    sections.append(figure8.format_result(figure8.run(num_links=num_links, seed=seed)))
+
+    if include_ablations:
+        sections.append(
+            ablations.format_truncation(
+                ablations.run_truncation_ablation(replicates=replicates, seed=seed)
+            )
+        )
+        sections.append(
+            ablations.format_path_agreement(
+                ablations.run_path_agreement_ablation(seed=seed)
+            )
+        )
+        sections.append(
+            ablations.format_hash_families(
+                ablations.run_hash_family_ablation(seed=seed)
+            )
+        )
+        sections.append(
+            ablations.format_markov_exact(ablations.run_markov_exact_ablation(seed=seed))
+        )
+
+    elapsed = time.time() - started
+    header = (
+        "Reproduction report -- Distinct Counting with a Self-Learning Bitmap\n"
+        f"(replicates={replicates}, trace_minutes={trace_minutes}, "
+        f"num_links={num_links}, seed={seed}; generated in {elapsed:.1f}s)\n"
+        + "=" * 72
+    )
+    return header + "\n\n" + "\n\n\n".join(sections) + "\n"
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Command-line entry point."""
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--replicates", type=int, default=100)
+    parser.add_argument("--trace-minutes", type=int, default=200)
+    parser.add_argument("--num-links", type=int, default=300)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--no-ablations", action="store_true")
+    parser.add_argument("--output", type=str, default=None, help="write to this file")
+    args = parser.parse_args(argv)
+    report = generate_report(
+        replicates=args.replicates,
+        trace_minutes=args.trace_minutes,
+        num_links=args.num_links,
+        seed=args.seed,
+        include_ablations=not args.no_ablations,
+    )
+    if args.output:
+        Path(args.output).write_text(report, encoding="utf-8")
+        print(f"wrote {len(report.splitlines())} lines to {args.output}")
+    else:
+        print(report)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - manual driver
+    raise SystemExit(main())

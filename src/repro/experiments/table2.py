@@ -1,0 +1,122 @@
+"""Table 2: memory cost (unit: 100 bits) of HyperLogLog vs S-bitmap.
+
+The paper tabulates the analytic memory requirement of both sketches for
+target errors ``epsilon in {1%, 3%, 9%}`` and range bounds
+``N in {10^3, 10^4, 10^5, 10^6, 10^7}``.  The values are closed-form
+(equation (7) for S-bitmap, ``(1.04/eps)^2 * ceil(log2 log2 N)`` bits for
+HyperLogLog) so the reproduction should match the paper essentially digit for
+digit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.tables import format_table
+from repro.core import theory
+
+__all__ = ["Table2Result", "Table2Row", "run", "format_result", "PAPER_VALUES"]
+
+PAPER_N_VALUES = (10**3, 10**4, 10**5, 10**6, 10**7)
+PAPER_EPSILONS = (0.01, 0.03, 0.09)
+
+#: The paper's Table 2, for reference and for the regression test:
+#: PAPER_VALUES[(N, eps)] = (HyperLogLog, S-bitmap) in units of 100 bits.
+PAPER_VALUES = {
+    (10**3, 0.01): (432.6, 59.1),
+    (10**4, 0.01): (432.6, 104.9),
+    (10**5, 0.01): (540.8, 202.2),
+    (10**6, 0.01): (540.8, 315.2),
+    (10**7, 0.01): (540.8, 430.1),
+    (10**3, 0.03): (48.1, 11.3),
+    (10**4, 0.03): (48.1, 21.9),
+    (10**5, 0.03): (60.1, 34.5),
+    (10**6, 0.03): (60.1, 47.2),
+    (10**7, 0.03): (60.1, 60.0),
+    (10**3, 0.09): (5.3, 2.4),
+    (10**4, 0.09): (5.3, 3.8),
+    (10**5, 0.09): (6.7, 5.2),
+    (10**6, 0.09): (6.7, 6.6),
+    (10**7, 0.09): (6.7, 8.1),
+}
+
+
+@dataclass(frozen=True)
+class Table2Row:
+    """One cell of Table 2 (memory in units of 100 bits)."""
+
+    n_max: int
+    target_rrmse: float
+    hyperloglog_hundred_bits: float
+    sbitmap_hundred_bits: float
+
+    @property
+    def paper_values(self) -> tuple[float, float] | None:
+        """The paper's (HLL, S-bitmap) values for this cell, when listed."""
+        return PAPER_VALUES.get((self.n_max, self.target_rrmse))
+
+
+@dataclass
+class Table2Result:
+    """All rows of Table 2."""
+
+    rows: list[Table2Row]
+
+    def row(self, n_max: int, target_rrmse: float) -> Table2Row:
+        """Look up one cell."""
+        for candidate in self.rows:
+            if candidate.n_max == n_max and candidate.target_rrmse == target_rrmse:
+                return candidate
+        raise KeyError(f"no row for N={n_max}, eps={target_rrmse}")
+
+
+def run(
+    n_values: tuple[int, ...] = PAPER_N_VALUES,
+    epsilons: tuple[float, ...] = PAPER_EPSILONS,
+) -> Table2Result:
+    """Compute the analytic memory table."""
+    rows = []
+    for n_max in n_values:
+        for eps in epsilons:
+            rows.append(
+                Table2Row(
+                    n_max=n_max,
+                    target_rrmse=eps,
+                    hyperloglog_hundred_bits=theory.hyperloglog_memory_bits(n_max, eps)
+                    / 100.0,
+                    sbitmap_hundred_bits=theory.sbitmap_memory_bits(n_max, eps) / 100.0,
+                )
+            )
+    return Table2Result(rows=rows)
+
+
+def format_result(result: Table2Result) -> str:
+    """Render the table alongside the paper's reported values."""
+    headers = [
+        "N",
+        "eps",
+        "HLLog (x100 bits)",
+        "S-bitmap (x100 bits)",
+        "paper HLLog",
+        "paper S-bitmap",
+    ]
+    rows: list[list[object]] = []
+    for row in result.rows:
+        paper = row.paper_values
+        rows.append(
+            [
+                row.n_max,
+                row.target_rrmse,
+                round(row.hyperloglog_hundred_bits, 1),
+                round(row.sbitmap_hundred_bits, 1),
+                paper[0] if paper else "-",
+                paper[1] if paper else "-",
+            ]
+        )
+    return "Table 2 -- memory cost of Hyper-LogLog vs S-bitmap\n" + format_table(
+        headers, rows, precision=2
+    )
+
+
+if __name__ == "__main__":  # pragma: no cover - manual driver
+    print(format_result(run()))

@@ -1,0 +1,128 @@
+"""Shared helpers for the trace-driven experiments (Figures 5, 6 and 8).
+
+The trace experiments need *one* estimate per measurement interval (per
+minute, or per link) for each algorithm, rather than replicated estimates of
+one cardinality.  :func:`estimate_each` produces exactly that, either from
+the model-level simulators (default, fast) or by streaming synthetic flow
+records through the real sketches (``mode="stream"``, used by the
+integration tests and available for end-to-end runs).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.dimensioning import SBitmapDesign
+from repro.core.estimator import SBitmapEstimator
+from repro.core.theory import register_width_bits
+from repro.simulation import (
+    simulate_fill_counts,
+    simulate_hyperloglog_estimates,
+    simulate_linear_counting_estimates,
+    simulate_loglog_estimates,
+    simulate_mr_bitmap_estimates,
+)
+from repro.sketches.base import create_sketch
+from repro.sketches.mr_bitmap import MultiresolutionBitmap
+from repro.streams.network import flows_for_interval
+
+__all__ = ["estimate_each", "TRACE_ALGORITHMS"]
+
+#: Algorithms compared on the traces (Figures 6 and 8).
+TRACE_ALGORITHMS = ("sbitmap", "mr_bitmap", "loglog", "hyperloglog")
+
+
+def _simulate_each(
+    algorithm: str,
+    memory_bits: int,
+    n_max: int,
+    counts: np.ndarray,
+    rng: np.random.Generator,
+) -> np.ndarray:
+    estimates = np.empty(counts.size, dtype=float)
+    if algorithm == "sbitmap":
+        design = SBitmapDesign.from_memory(memory_bits, n_max)
+        estimator = SBitmapEstimator(design)
+        for index, count in enumerate(counts):
+            fill = simulate_fill_counts(design, np.array([count]), 1, rng)[0, 0]
+            estimates[index] = estimator.estimate(int(fill))
+        return estimates
+    if algorithm in ("hyperloglog", "loglog"):
+        width = register_width_bits(n_max)
+        registers = max(2, memory_bits // width)
+        simulator = (
+            simulate_hyperloglog_estimates
+            if algorithm == "hyperloglog"
+            else simulate_loglog_estimates
+        )
+        for index, count in enumerate(counts):
+            estimates[index] = simulator(
+                registers, int(count), 1, rng, register_width=width
+            )[0]
+        return estimates
+    if algorithm == "mr_bitmap":
+        sizes = MultiresolutionBitmap.design(memory_bits, n_max).component_sizes
+        for index, count in enumerate(counts):
+            estimates[index] = simulate_mr_bitmap_estimates(sizes, int(count), 1, rng)[0]
+        return estimates
+    if algorithm == "linear_counting":
+        for index, count in enumerate(counts):
+            estimates[index] = simulate_linear_counting_estimates(
+                memory_bits, int(count), 1, rng
+            )[0]
+        return estimates
+    raise ValueError(f"no trace simulator for algorithm {algorithm!r}")
+
+
+def _stream_each(
+    algorithm: str,
+    memory_bits: int,
+    n_max: int,
+    counts: np.ndarray,
+    seed: int,
+) -> np.ndarray:
+    estimates = np.empty(counts.size, dtype=float)
+    for index, count in enumerate(counts):
+        sketch = create_sketch(algorithm, memory_bits, n_max, seed=seed + index)
+        sketch.update(
+            flows_for_interval(int(count), seed_or_rng=seed * 7919 + index, interval_id=index)
+        )
+        estimates[index] = sketch.estimate()
+    return estimates
+
+
+def estimate_each(
+    algorithm: str,
+    memory_bits: int,
+    n_max: int,
+    counts: np.ndarray,
+    seed: int = 0,
+    mode: str = "simulate",
+) -> np.ndarray:
+    """One estimate per entry of ``counts`` (independent sketch per interval).
+
+    Parameters
+    ----------
+    algorithm:
+        Registry name of the sketch.
+    memory_bits, n_max:
+        Shared sketch configuration.
+    counts:
+        True distinct counts, one per measurement interval.
+    seed:
+        Seed of the simulation / hash functions.
+    mode:
+        ``"simulate"`` (model-level, default) or ``"stream"`` (feed synthetic
+        flow records through the real sketch).
+    """
+    counts = np.asarray(counts, dtype=np.int64)
+    if counts.ndim != 1 or counts.size == 0:
+        raise ValueError("counts must be a non-empty 1-D array")
+    if np.any(counts < 1):
+        raise ValueError("every interval must contain at least one flow")
+    if mode == "simulate":
+        rng = np.random.default_rng(seed)
+        return _simulate_each(algorithm, memory_bits, n_max, counts, rng)
+    if mode == "stream":
+        return _stream_each(algorithm, memory_bits, n_max, counts, seed)
+    raise ValueError(f"mode must be 'simulate' or 'stream', got {mode!r}")

@@ -1,0 +1,58 @@
+"""Universal hashing substrate used by every sketch in :mod:`repro`.
+
+The paper assumes an idealised uniform hash ``h : X -> {1, ..., m}`` (Sec. 2.2)
+and, for the S-bitmap update (Algorithm 2), a hash producing ``c + d`` uniform
+bits whose first ``c`` bits select the bucket and whose last ``d`` bits drive
+the sampling decision.  This package provides:
+
+* :mod:`repro.hashing.mixers` -- 64-bit integer mixers (splitmix64 and a
+  Murmur-style finaliser) plus stable conversion of arbitrary Python objects
+  into 64-bit keys.
+* :mod:`repro.hashing.universal` -- the classical Carter--Wegman universal
+  hash family ``h(x) = ((a x + b) mod p) mod m`` described in the paper's
+  footnote 1.
+* :mod:`repro.hashing.bits` -- bit-field extraction helpers and the
+  ``rho`` (position of the leftmost 1-bit) statistic used by the
+  Flajolet--Martin family of sketches.
+* :mod:`repro.hashing.family` -- the :class:`HashFamily` abstraction every
+  sketch consumes: a seeded object mapping items to 64 uniform bits with
+  convenience views (bucket index, uniform fraction, bit fields).
+"""
+
+from repro.hashing.bits import (
+    bit_field,
+    high_bits,
+    low_bits,
+    reverse_bits64,
+    rho,
+    rho_from_bits,
+)
+from repro.hashing.family import HashFamily, MixerHashFamily, TabulationHashFamily
+from repro.hashing.mixers import (
+    MASK64,
+    key_to_int,
+    murmur_finalize,
+    splitmix64,
+    splitmix64_stream,
+)
+from repro.hashing.universal import CarterWegmanHash, is_prime, next_prime
+
+__all__ = [
+    "MASK64",
+    "CarterWegmanHash",
+    "HashFamily",
+    "MixerHashFamily",
+    "TabulationHashFamily",
+    "bit_field",
+    "high_bits",
+    "is_prime",
+    "key_to_int",
+    "low_bits",
+    "murmur_finalize",
+    "next_prime",
+    "reverse_bits64",
+    "rho",
+    "rho_from_bits",
+    "splitmix64",
+    "splitmix64_stream",
+]

@@ -1,0 +1,86 @@
+"""Bit-field helpers shared by the bitmap and log-counting sketches.
+
+Algorithm 2 of the paper splits a hashed value of ``c + d`` bits into a bucket
+index (first ``c`` bits) and a sampling fraction (last ``d`` bits); the
+Flajolet--Martin family instead needs ``rho``, the position of the leftmost
+1-bit of the hashed suffix.  These small, heavily-tested helpers implement
+both views on top of a 64-bit hash value.
+"""
+
+from __future__ import annotations
+
+from repro.hashing.mixers import MASK64
+
+
+def high_bits(value: int, count: int, width: int = 64) -> int:
+    """Return the ``count`` most significant bits of a ``width``-bit value."""
+    _check_width(count, width)
+    if count == 0:
+        return 0
+    return (value & ((1 << width) - 1)) >> (width - count)
+
+
+def low_bits(value: int, count: int) -> int:
+    """Return the ``count`` least significant bits of ``value``."""
+    if count < 0 or count > 64:
+        raise ValueError(f"count must be in [0, 64], got {count}")
+    if count == 0:
+        return 0
+    return value & ((1 << count) - 1)
+
+
+def bit_field(value: int, start: int, count: int, width: int = 64) -> int:
+    """Extract ``count`` bits starting at position ``start`` from the MSB side.
+
+    Position 0 is the most significant bit of the ``width``-bit value, matching
+    the paper's notation ``x = b_1 b_2 ... b_{c+d}`` where ``b_1`` is the first
+    hashed bit.
+    """
+    _check_width(start + count, width)
+    if count == 0:
+        return 0
+    shift = width - start - count
+    return ((value & ((1 << width) - 1)) >> shift) & ((1 << count) - 1)
+
+
+def rho(value: int, width: int = 64) -> int:
+    """Position (1-based) of the leftmost 1-bit of a ``width``-bit value.
+
+    ``rho(value) = k`` means the first ``k - 1`` bits are zero and the ``k``-th
+    bit is one, so under a uniform hash ``P(rho = k) = 2^{-k}``: exactly the
+    geometric variable the FM / LogLog / HyperLogLog sketches record.  A value
+    of zero (all bits zero) returns ``width + 1`` by the usual convention.
+    """
+    _check_width(0, width)
+    masked = value & ((1 << width) - 1)
+    if masked == 0:
+        return width + 1
+    return width - masked.bit_length() + 1
+
+
+def rho_from_bits(value: int, width: int = 64) -> int:
+    """Alias of :func:`rho` kept for readability at call sites."""
+    return rho(value, width)
+
+
+def reverse_bits64(value: int) -> int:
+    """Reverse the bit order of a 64-bit value.
+
+    Useful to reuse one hash output both for bucket selection (high bits) and
+    for a statistically independent geometric draw (reversed low bits).
+    """
+    v = value & MASK64
+    result = 0
+    for _ in range(64):
+        result = (result << 1) | (v & 1)
+        v >>= 1
+    return result
+
+
+def _check_width(bits_needed: int, width: int) -> None:
+    if width <= 0 or width > 64:
+        raise ValueError(f"width must be in [1, 64], got {width}")
+    if bits_needed < 0 or bits_needed > width:
+        raise ValueError(
+            f"requested bit range [{bits_needed}] exceeds hash width {width}"
+        )

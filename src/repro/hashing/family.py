@@ -1,0 +1,148 @@
+"""Seeded hash families consumed by every sketch.
+
+A :class:`HashFamily` turns stream items into 64 pseudo-uniform bits and
+offers the derived views the sketches need:
+
+* ``hash64(item)``      -- the raw 64-bit value,
+* ``bucket(item, m)``   -- a bucket index in ``{0, ..., m-1}``,
+* ``fraction(item)``    -- a uniform float in ``[0, 1)`` (the ``u 2^{-d}``
+  sampling variate of Algorithm 2),
+* ``bits(item, c, d)``  -- the pair ``(j, u)`` of Algorithm 2: the first ``c``
+  bits as a bucket index and the next ``d`` bits as an integer,
+* ``geometric(item)``   -- the ``rho`` statistic used by FM / LogLog / HLL.
+
+Two concrete families are provided: :class:`MixerHashFamily` (splitmix64 /
+murmur finalisers; the default, fastest and statistically excellent for these
+sketches) and :class:`TabulationHashFamily` (simple tabulation hashing, a
+strongly universal family with provable guarantees, included as an
+alternative substrate and exercised by the ablation experiments).
+"""
+
+from __future__ import annotations
+
+import abc
+
+from repro.hashing.bits import bit_field, rho
+from repro.hashing.mixers import (
+    MASK64,
+    key_to_int,
+    murmur_finalize,
+    splitmix64,
+    splitmix64_stream,
+)
+
+
+class HashFamily(abc.ABC):
+    """Abstract seeded hash family mapping items to 64 uniform bits."""
+
+    def __init__(self, seed: int = 0) -> None:
+        self.seed = int(seed)
+
+    @abc.abstractmethod
+    def hash64(self, item: object) -> int:
+        """Return 64 pseudo-uniform bits for ``item`` (deterministic per seed)."""
+
+    def bucket(self, item: object, num_buckets: int) -> int:
+        """Map ``item`` to a bucket index in ``{0, ..., num_buckets - 1}``."""
+        if num_buckets <= 0:
+            raise ValueError(f"num_buckets must be positive, got {num_buckets}")
+        return self.hash64(item) % num_buckets
+
+    def fraction(self, item: object) -> float:
+        """Map ``item`` to a uniform float in ``[0, 1)``.
+
+        Uses the top 53 bits so the value is exactly representable as a double.
+        """
+        return (self.hash64(item) >> 11) * 2.0**-53
+
+    def bits(self, item: object, bucket_bits: int, sample_bits: int) -> tuple[int, int]:
+        """Split the hash into Algorithm 2's ``(j, u)`` pair.
+
+        ``j`` is the integer value of the first ``bucket_bits`` bits and ``u``
+        the integer value of the following ``sample_bits`` bits, exactly the
+        layout ``x = b_1 ... b_c b_{c+1} ... b_{c+d}`` in the paper.
+        """
+        if bucket_bits + sample_bits > 64:
+            raise ValueError(
+                f"bucket_bits + sample_bits must be <= 64, got "
+                f"{bucket_bits} + {sample_bits}"
+            )
+        value = self.hash64(item)
+        bucket = bit_field(value, 0, bucket_bits)
+        sample = bit_field(value, bucket_bits, sample_bits)
+        return bucket, sample
+
+    def geometric(self, item: object, width: int = 64) -> int:
+        """Return ``rho`` of the hashed value: a Geometric(1/2) variable."""
+        return rho(self.hash64(item), width)
+
+    def spawn(self, stream_index: int) -> "HashFamily":
+        """Return an independent family derived from this one.
+
+        Sketches that need several independent hash functions (e.g. PCSA with
+        separate bucket and value hashes) call ``spawn`` rather than inventing
+        their own seed arithmetic.
+        """
+        derived_seed = splitmix64((self.seed ^ 0xA5A5A5A5A5A5A5A5) + stream_index)
+        return type(self)(seed=derived_seed)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}(seed={self.seed})"
+
+
+class MixerHashFamily(HashFamily):
+    """Default family: canonicalise the key then apply a 64-bit finaliser.
+
+    Parameters
+    ----------
+    seed:
+        Any integer; different seeds give (empirically) independent functions.
+    mixer:
+        ``"splitmix64"`` (default) or ``"murmur"``.
+    """
+
+    def __init__(self, seed: int = 0, mixer: str = "splitmix64") -> None:
+        super().__init__(seed)
+        if mixer not in ("splitmix64", "murmur"):
+            raise ValueError(f"unknown mixer {mixer!r}")
+        self.mixer = mixer
+        self._mix = splitmix64 if mixer == "splitmix64" else murmur_finalize
+        self._seed_mix = splitmix64(self.seed ^ 0x6A09E667F3BCC908)
+
+    def hash64(self, item: object) -> int:
+        key = key_to_int(item)
+        return self._mix((key ^ self._seed_mix) & MASK64)
+
+    def spawn(self, stream_index: int) -> "MixerHashFamily":
+        derived_seed = splitmix64((self.seed ^ 0xA5A5A5A5A5A5A5A5) + stream_index)
+        return MixerHashFamily(seed=derived_seed, mixer=self.mixer)
+
+
+class TabulationHashFamily(HashFamily):
+    """Simple tabulation hashing over the 8 bytes of the canonical key.
+
+    Simple tabulation is 3-independent and known to behave like a fully
+    random function for hashing-based sketches (Patrascu & Thorup).  The
+    tables are filled from a SplitMix64 stream seeded by ``seed``.
+    """
+
+    _NUM_TABLES = 8
+    _TABLE_SIZE = 256
+
+    def __init__(self, seed: int = 0) -> None:
+        super().__init__(seed)
+        flat = splitmix64_stream(
+            splitmix64(seed ^ 0xBB67AE8584CAA73B), self._NUM_TABLES * self._TABLE_SIZE
+        )
+        self._tables = [
+            flat[i * self._TABLE_SIZE : (i + 1) * self._TABLE_SIZE]
+            for i in range(self._NUM_TABLES)
+        ]
+
+    def hash64(self, item: object) -> int:
+        key = key_to_int(item)
+        result = 0
+        for table_index in range(self._NUM_TABLES):
+            byte = (key >> (8 * table_index)) & 0xFF
+            result ^= self._tables[table_index][byte]
+        return result & MASK64

@@ -1,0 +1,103 @@
+"""64-bit integer mixers and key canonicalisation.
+
+The sketches in this package need a deterministic map from arbitrary stream
+items (strings, integers, tuples of flow fields, bytes) to 64 uniformly
+distributed bits.  Python's built-in :func:`hash` is salted per process for
+strings and therefore unusable for reproducible experiments, so we build our
+own pipeline:
+
+1. :func:`key_to_int` canonicalises an item into an unsigned 64-bit integer
+   (via a small FNV-1a fold for variable-length data).
+2. :func:`splitmix64` / :func:`murmur_finalize` scramble that integer into a
+   value that behaves like 64 independent uniform bits.  Both are classical,
+   well-studied finalisers; splitmix64 is the default throughout the library.
+
+All functions operate on plain Python integers masked to 64 bits so they work
+identically on every platform and require no third-party dependencies.
+"""
+
+from __future__ import annotations
+
+MASK64 = (1 << 64) - 1
+
+_FNV_OFFSET = 0xCBF29CE484222325
+_FNV_PRIME = 0x100000001B3
+
+_SPLITMIX_GAMMA = 0x9E3779B97F4A7C15
+
+
+def splitmix64(value: int) -> int:
+    """Mix ``value`` into 64 pseudo-uniform bits (splitmix64 finaliser).
+
+    The constants are those of Steele, Lea and Flatt's SplitMix generator.
+    The map is a bijection on 64-bit integers, so distinct keys never collide
+    at this stage; collisions can only come from :func:`key_to_int` folding.
+    """
+    z = (value + _SPLITMIX_GAMMA) & MASK64
+    z = ((z ^ (z >> 30)) * 0xBF58476D1CE4E5B9) & MASK64
+    z = ((z ^ (z >> 27)) * 0x94D049BB133111EB) & MASK64
+    return (z ^ (z >> 31)) & MASK64
+
+
+def murmur_finalize(value: int) -> int:
+    """Mix ``value`` with the MurmurHash3 64-bit finaliser (fmix64)."""
+    z = value & MASK64
+    z = ((z ^ (z >> 33)) * 0xFF51AFD7ED558CCD) & MASK64
+    z = ((z ^ (z >> 33)) * 0xC4CEB9FE1A85EC53) & MASK64
+    return (z ^ (z >> 33)) & MASK64
+
+
+def splitmix64_stream(seed: int, count: int) -> list[int]:
+    """Return ``count`` successive outputs of the SplitMix64 generator.
+
+    Used to derive independent per-sketch seeds and the random coefficients of
+    the Carter--Wegman family from a single user-supplied seed.
+    """
+    if count < 0:
+        raise ValueError(f"count must be non-negative, got {count}")
+    state = seed & MASK64
+    outputs = []
+    for _ in range(count):
+        state = (state + _SPLITMIX_GAMMA) & MASK64
+        outputs.append(splitmix64(state))
+    return outputs
+
+
+def _fold_bytes(data: bytes) -> int:
+    """Fold a byte string into 64 bits with FNV-1a."""
+    acc = _FNV_OFFSET
+    for byte in data:
+        acc ^= byte
+        acc = (acc * _FNV_PRIME) & MASK64
+    return acc
+
+
+def key_to_int(item: object) -> int:
+    """Canonicalise an arbitrary hashable item into an unsigned 64-bit key.
+
+    Integers map to themselves (mod 2^64) so that synthetic streams of
+    ``range(n)`` keys are cheap.  Strings and bytes are folded with FNV-1a.
+    Tuples (e.g. flow 5-tuples) are folded element-wise, mixing intermediate
+    results so that ``(a, b)`` and ``(b, a)`` land far apart.  Other objects
+    fall back to their ``repr``, which is stable for the value types used in
+    this library.
+    """
+    if isinstance(item, bool):
+        # bool is an int subclass; keep True/False distinct from 1/0 streams
+        # by routing through the string fold.
+        return _fold_bytes(b"bool:true" if item else b"bool:false")
+    if isinstance(item, int):
+        return item & MASK64
+    if isinstance(item, bytes):
+        return _fold_bytes(item)
+    if isinstance(item, str):
+        return _fold_bytes(item.encode("utf-8"))
+    if isinstance(item, float):
+        return _fold_bytes(item.hex().encode("ascii"))
+    if isinstance(item, tuple):
+        acc = _FNV_OFFSET
+        for element in item:
+            acc ^= splitmix64(key_to_int(element))
+            acc = (acc * _FNV_PRIME) & MASK64
+        return acc
+    return _fold_bytes(repr(item).encode("utf-8"))

@@ -1,0 +1,120 @@
+"""Carter--Wegman universal hashing.
+
+The paper's footnote 1 describes the classical universal family
+
+    h(x) = ((a * x + b) mod p) mod m
+
+with ``p`` a large prime and ``a, b`` random modulo ``p`` (``a != 0``).  This
+module provides that family together with small number-theory helpers
+(:func:`is_prime`, :func:`next_prime`) used to pick ``p`` above the key
+universe.  The family is exposed both as a raw callable returning a bucket in
+``{0, ..., m-1}`` and through :class:`repro.hashing.family.HashFamily` for use
+inside sketches.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.hashing.mixers import MASK64, key_to_int, splitmix64_stream
+
+#: A Mersenne prime comfortably above 2^64; arithmetic mod this prime keeps
+#: the full 64-bit key space collision-free at the ``(a x + b) mod p`` stage.
+DEFAULT_PRIME = (1 << 89) - 1
+
+_SMALL_PRIMES = (2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37)
+
+
+def is_prime(candidate: int) -> bool:
+    """Deterministic Miller--Rabin primality test for 64-ish bit integers.
+
+    The witness set used here is deterministic for all candidates below
+    3.3 * 10^24, far beyond anything this library needs.
+    """
+    if candidate < 2:
+        return False
+    for prime in _SMALL_PRIMES:
+        if candidate % prime == 0:
+            return candidate == prime
+    d = candidate - 1
+    r = 0
+    while d % 2 == 0:
+        d //= 2
+        r += 1
+    for witness in _SMALL_PRIMES:
+        x = pow(witness, d, candidate)
+        if x in (1, candidate - 1):
+            continue
+        for _ in range(r - 1):
+            x = (x * x) % candidate
+            if x == candidate - 1:
+                break
+        else:
+            return False
+    return True
+
+
+def next_prime(value: int) -> int:
+    """Smallest prime strictly greater than ``value``."""
+    candidate = max(value + 1, 2)
+    if candidate % 2 == 0 and candidate != 2:
+        candidate += 1
+    while not is_prime(candidate):
+        candidate += 2 if candidate != 2 else 1
+    return candidate
+
+
+@dataclass(frozen=True)
+class CarterWegmanHash:
+    """The universal hash ``h(x) = ((a x + b) mod p) mod range_size``.
+
+    Parameters
+    ----------
+    a, b:
+        Random coefficients modulo ``p`` with ``a != 0``.
+    p:
+        A prime larger than the key universe (default: the Mersenne prime
+        2^89 - 1, which dominates 64-bit keys).
+    range_size:
+        Size ``m`` of the output range ``{0, ..., m - 1}``.
+    """
+
+    a: int
+    b: int
+    p: int
+    range_size: int
+
+    def __post_init__(self) -> None:
+        if self.range_size <= 0:
+            raise ValueError(f"range_size must be positive, got {self.range_size}")
+        if not 0 < self.a < self.p:
+            raise ValueError("coefficient a must satisfy 0 < a < p")
+        if not 0 <= self.b < self.p:
+            raise ValueError("coefficient b must satisfy 0 <= b < p")
+        if self.p <= self.range_size:
+            raise ValueError("prime p must exceed the output range size")
+
+    @classmethod
+    def from_seed(
+        cls, seed: int, range_size: int, prime: int = DEFAULT_PRIME
+    ) -> "CarterWegmanHash":
+        """Derive the random coefficients ``(a, b)`` deterministically from ``seed``."""
+        raw_a, raw_b = splitmix64_stream(seed, 2)
+        a = (raw_a % (prime - 1)) + 1
+        b = raw_b % prime
+        return cls(a=a, b=b, p=prime, range_size=range_size)
+
+    def __call__(self, item: object) -> int:
+        """Hash ``item`` to a bucket in ``{0, ..., range_size - 1}``."""
+        key = key_to_int(item)
+        return ((self.a * key + self.b) % self.p) % self.range_size
+
+    def uniform64(self, item: object) -> int:
+        """Hash ``item`` to 64 pseudo-uniform bits (ignores ``range_size``).
+
+        The intermediate value ``(a x + b) mod p`` is uniform on ``[0, p)``;
+        reducing it modulo 2^64 keeps 64 approximately uniform bits because
+        ``p >> 2^64``.
+        """
+        key = key_to_int(item)
+        return ((self.a * key + self.b) % self.p) & MASK64

@@ -1,0 +1,53 @@
+"""Fast model-level simulators of the sketch state distributions.
+
+The paper's accuracy experiments (Figures 2 and 4, Tables 3 and 4) replicate
+each configuration 1000 times for cardinalities up to 10^6.  Feeding a million
+items through a pure-Python streaming sketch thousands of times would take
+hours, so -- exactly like the authors, who simulate "n distinct items" --
+these modules sample the sketch's *sufficient statistic* directly from its
+distribution given ``n``:
+
+* :mod:`repro.simulation.sbitmap_sim` -- draws the fill times ``T_b`` as sums
+  of independent geometrics (Lemma 1) and reads off the fill count ``B`` for
+  every cardinality of a sweep in one pass;
+* :mod:`repro.simulation.register_sim` -- draws LogLog / HyperLogLog register
+  maxima via a multinomial split of the ``n`` items over the registers and
+  inverse-transform sampling of the maximum of geometric variables;
+* :mod:`repro.simulation.occupancy_sim` -- draws the occupancy of plain,
+  virtual and multiresolution bitmaps via multinomial ball-throwing.
+
+Every simulator shares its estimator code with the corresponding streaming
+sketch (the vectorised ``*_estimate`` functions), and the test-suite contains
+statistical cross-checks that the streaming and model-level paths produce the
+same error distributions.
+"""
+
+from repro.simulation.occupancy_sim import (
+    simulate_linear_counting_estimates,
+    simulate_mr_bitmap_estimates,
+    simulate_occupancy,
+    simulate_virtual_bitmap_estimates,
+)
+from repro.simulation.register_sim import (
+    simulate_hyperloglog_estimates,
+    simulate_loglog_estimates,
+    simulate_register_maxima,
+)
+from repro.simulation.sbitmap_sim import (
+    simulate_fill_counts,
+    simulate_sbitmap_estimates,
+    simulate_sbitmap_sweep,
+)
+
+__all__ = [
+    "simulate_fill_counts",
+    "simulate_hyperloglog_estimates",
+    "simulate_linear_counting_estimates",
+    "simulate_loglog_estimates",
+    "simulate_mr_bitmap_estimates",
+    "simulate_occupancy",
+    "simulate_register_maxima",
+    "simulate_sbitmap_estimates",
+    "simulate_sbitmap_sweep",
+    "simulate_virtual_bitmap_estimates",
+]

@@ -1,0 +1,133 @@
+"""Model-level simulation of bitmap occupancies (plain, virtual, multiresolution).
+
+Throwing ``n`` distinct items into ``m`` buckets is a multinomial experiment;
+the sufficient statistic of the bitmap sketches is the number of *occupied*
+buckets (per component, for the multiresolution bitmap).  These simulators
+draw that statistic exactly:
+
+* plain bitmap / linear counting: occupied = number of non-empty cells of a
+  ``Multinomial(n, 1/m)`` draw;
+* virtual bitmap: the number of *sampled* items is ``Binomial(n, r)`` first;
+* multiresolution bitmap: items are first split over the resolution levels
+  (``P(level=i) = 2^{-i}``, last level absorbs the tail), then thrown into the
+  level's component.
+
+Estimates are produced with the same estimator functions as the streaming
+sketches (:func:`repro.sketches.linear_counting.linear_counting_estimate`,
+:func:`repro.sketches.mr_bitmap.mr_bitmap_estimate`).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.sketches.linear_counting import linear_counting_estimate
+from repro.sketches.mr_bitmap import DEFAULT_FILL_THRESHOLD, mr_bitmap_estimate
+
+__all__ = [
+    "simulate_occupancy",
+    "simulate_linear_counting_estimates",
+    "simulate_virtual_bitmap_estimates",
+    "simulate_mr_bitmap_estimates",
+]
+
+
+def simulate_occupancy(
+    num_buckets: int,
+    num_items: np.ndarray | int,
+    rng: np.random.Generator,
+) -> np.ndarray:
+    """Number of occupied buckets after throwing items uniformly into buckets.
+
+    ``num_items`` may be a scalar or an array (one entry per replicate); the
+    result has the same shape.  The draw is exact (multinomial), not a
+    Poisson approximation.
+    """
+    if num_buckets < 1:
+        raise ValueError(f"num_buckets must be positive, got {num_buckets}")
+    items = np.atleast_1d(np.asarray(num_items, dtype=np.int64))
+    if np.any(items < 0):
+        raise ValueError("item counts must be non-negative")
+    probabilities = np.full(num_buckets, 1.0 / num_buckets)
+    occupied = np.empty(items.shape, dtype=np.int64)
+    for index, count in np.ndenumerate(items):
+        cells = rng.multinomial(int(count), probabilities)
+        occupied[index] = int(np.count_nonzero(cells))
+    if np.isscalar(num_items) or np.ndim(num_items) == 0:
+        return occupied[0]
+    return occupied
+
+
+def simulate_linear_counting_estimates(
+    num_bits: int,
+    cardinality: int,
+    replicates: int,
+    rng: np.random.Generator,
+) -> np.ndarray:
+    """Replicated linear-counting estimates for one cardinality."""
+    _validate(cardinality, replicates)
+    items = np.full(replicates, cardinality, dtype=np.int64)
+    occupied = simulate_occupancy(num_bits, items, rng)
+    return np.asarray(linear_counting_estimate(num_bits, occupied), dtype=float)
+
+
+def simulate_virtual_bitmap_estimates(
+    num_bits: int,
+    sampling_rate: float,
+    cardinality: int,
+    replicates: int,
+    rng: np.random.Generator,
+) -> np.ndarray:
+    """Replicated virtual-bitmap estimates for one cardinality."""
+    _validate(cardinality, replicates)
+    if not 0.0 < sampling_rate <= 1.0:
+        raise ValueError(f"sampling_rate must lie in (0, 1], got {sampling_rate}")
+    sampled = rng.binomial(cardinality, sampling_rate, size=replicates)
+    occupied = simulate_occupancy(num_bits, sampled, rng)
+    return (
+        np.asarray(linear_counting_estimate(num_bits, occupied), dtype=float)
+        / sampling_rate
+    )
+
+
+def simulate_mr_bitmap_estimates(
+    component_sizes: list[int],
+    cardinality: int,
+    replicates: int,
+    rng: np.random.Generator,
+    fill_threshold: float = DEFAULT_FILL_THRESHOLD,
+) -> np.ndarray:
+    """Replicated multiresolution-bitmap estimates for one cardinality.
+
+    Items are first split over the resolution levels with the geometric level
+    probabilities, then thrown into each level's component; the shared
+    :func:`mr_bitmap_estimate` decodes each replicate.
+    """
+    _validate(cardinality, replicates)
+    num_components = len(component_sizes)
+    if num_components < 1:
+        raise ValueError("at least one component is required")
+    level_probabilities = np.array(
+        [2.0**-i for i in range(1, num_components)]
+        + [2.0 ** -(num_components - 1)]
+    )
+    # Guard against tiny floating-point drift in the tail probability.
+    level_probabilities = level_probabilities / level_probabilities.sum()
+    estimates = np.empty(replicates, dtype=float)
+    for replicate in range(replicates):
+        per_level = rng.multinomial(cardinality, level_probabilities)
+        occupancies = [
+            int(simulate_occupancy(size, int(count), rng))
+            for size, count in zip(component_sizes, per_level)
+        ]
+        estimates[replicate] = mr_bitmap_estimate(
+            list(component_sizes), occupancies, fill_threshold
+        )
+    return estimates
+
+
+def _validate(cardinality: int, replicates: int) -> None:
+    if cardinality < 0:
+        raise ValueError(f"cardinality must be non-negative, got {cardinality}")
+    if replicates < 1:
+        raise ValueError(f"replicates must be positive, got {replicates}")

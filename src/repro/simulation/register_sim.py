@@ -1,0 +1,103 @@
+"""Model-level simulation of LogLog / HyperLogLog register states.
+
+After ``n`` distinct items, the per-register item counts are multinomial
+``(n; 1/m, ..., 1/m)`` and, given a register received ``k`` items, its value
+is the maximum of ``k`` independent Geometric(1/2) variables,
+
+    P(M <= x | k) = (1 - 2^{-x})^k,   x = 0, 1, 2, ...
+
+(with ``M = 0`` when ``k = 0``).  Both stages are sampled exactly here: the
+multinomial split with numpy's generator and the conditional maximum by
+inverse-transform sampling, so the simulated registers have exactly the same
+law as the streaming sketches under an ideal hash.  The estimates are then
+produced by the very same vectorised estimator functions the streaming
+classes use.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.sketches.hyperloglog import hyperloglog_estimate
+from repro.sketches.loglog import loglog_estimate
+
+__all__ = [
+    "simulate_register_maxima",
+    "simulate_loglog_estimates",
+    "simulate_hyperloglog_estimates",
+]
+
+
+def _max_geometric(counts: np.ndarray, rng: np.random.Generator, max_value: int) -> np.ndarray:
+    """Sample ``max of k Geometric(1/2)`` for every entry of ``counts``.
+
+    Uses inverse-transform sampling of the maximum's CDF
+    ``F(x) = (1 - 2^{-x})^k``: with ``U`` uniform, the sample is the smallest
+    integer ``x`` with ``2^{-x} <= 1 - U^{1/k}``, i.e.
+    ``x = ceil(-log2(1 - U^{1/k}))``.  Entries with ``k = 0`` return 0.
+    Values are clipped to ``max_value`` (the register width cap).
+    """
+    counts = np.asarray(counts, dtype=np.float64)
+    uniforms = rng.random(counts.shape)
+    with np.errstate(divide="ignore", invalid="ignore"):
+        # 1 - U^(1/k), computed in log-space for numerical stability when k is
+        # large (U^(1/k) is then extremely close to 1).
+        log_u_over_k = np.log(uniforms) / np.maximum(counts, 1.0)
+        tail = -np.expm1(log_u_over_k)  # = 1 - U^(1/k)
+        tail = np.maximum(tail, 1e-300)
+        values = np.ceil(-np.log2(tail))
+    values = np.where(counts > 0, values, 0.0)
+    return np.clip(values, 0, max_value).astype(np.int64)
+
+
+def simulate_register_maxima(
+    num_registers: int,
+    cardinality: int,
+    replicates: int,
+    rng: np.random.Generator,
+    register_width: int = 5,
+) -> np.ndarray:
+    """Simulate register arrays for ``replicates`` independent sketches.
+
+    Returns an int array of shape ``(replicates, num_registers)`` distributed
+    exactly as the registers of a LogLog / HyperLogLog sketch that processed
+    ``cardinality`` distinct items with an ideal hash.
+    """
+    if num_registers < 2:
+        raise ValueError(f"need at least 2 registers, got {num_registers}")
+    if cardinality < 0:
+        raise ValueError(f"cardinality must be non-negative, got {cardinality}")
+    if replicates < 1:
+        raise ValueError(f"replicates must be positive, got {replicates}")
+    max_value = (1 << register_width) - 1
+    probabilities = np.full(num_registers, 1.0 / num_registers)
+    counts = rng.multinomial(cardinality, probabilities, size=replicates)
+    return _max_geometric(counts, rng, max_value)
+
+
+def simulate_loglog_estimates(
+    num_registers: int,
+    cardinality: int,
+    replicates: int,
+    rng: np.random.Generator,
+    register_width: int = 5,
+) -> np.ndarray:
+    """Replicated LogLog estimates for one cardinality (shape ``(replicates,)``)."""
+    registers = simulate_register_maxima(
+        num_registers, cardinality, replicates, rng, register_width
+    )
+    return np.asarray(loglog_estimate(registers, axis=1), dtype=float)
+
+
+def simulate_hyperloglog_estimates(
+    num_registers: int,
+    cardinality: int,
+    replicates: int,
+    rng: np.random.Generator,
+    register_width: int = 5,
+) -> np.ndarray:
+    """Replicated HyperLogLog estimates for one cardinality (shape ``(replicates,)``)."""
+    registers = simulate_register_maxima(
+        num_registers, cardinality, replicates, rng, register_width
+    )
+    return np.asarray(hyperloglog_estimate(registers, axis=1), dtype=float)

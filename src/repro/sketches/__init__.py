@@ -1,0 +1,75 @@
+"""Baseline distinct-counting sketches the paper compares S-bitmap against.
+
+The package contains every algorithm reviewed in Section 2 (and the extension
+sketches used by the ablation benchmarks):
+
+* :class:`~repro.sketches.exact.ExactCounter` -- ground truth,
+* :class:`~repro.sketches.linear_counting.LinearCounting` -- basic bitmap
+  (Whang et al. 1990),
+* :class:`~repro.sketches.virtual_bitmap.VirtualBitmap` -- sampled bitmap,
+* :class:`~repro.sketches.mr_bitmap.MultiresolutionBitmap` -- Estan et al.
+  2006,
+* :class:`~repro.sketches.fm.FlajoletMartin` -- PCSA (1985),
+* :class:`~repro.sketches.loglog.LogLog` -- Durand & Flajolet 2003,
+* :class:`~repro.sketches.hyperloglog.HyperLogLog` -- Flajolet et al. 2007,
+* :class:`~repro.sketches.adaptive_sampling.AdaptiveSampling` -- Wegman /
+  Flajolet 1990,
+* :class:`~repro.sketches.distinct_sampling.DistinctSampling` -- Gibbons 2001,
+* :class:`~repro.sketches.kmv.KMinimumValues` -- order-statistics extension,
+* :class:`~repro.sketches.morris.MorrisCounter` -- Morris 1978 (not a distinct
+  counter; included as the historical inspiration for adaptive rates).
+
+Importing this package registers every sketch with the factory registry of
+:mod:`repro.sketches.base`, so ``create_sketch("hyperloglog", m, N)`` works
+out of the box.
+"""
+
+from repro.sketches.adaptive_sampling import AdaptiveSampling
+from repro.sketches.base import (
+    DistinctCounter,
+    NotMergeableError,
+    available_sketches,
+    create_sketch,
+    register_sketch,
+)
+from repro.sketches.distinct_sampling import DistinctSampling
+from repro.sketches.exact import ExactCounter
+from repro.sketches.fm import FlajoletMartin
+from repro.sketches.hyperloglog import HyperLogLog
+from repro.sketches.kmv import KMinimumValues
+from repro.sketches.linear_counting import LinearCounting
+from repro.sketches.loglog import LogLog
+from repro.sketches.morris import MorrisCounter
+from repro.sketches.mr_bitmap import MultiresolutionBitmap
+from repro.sketches.registry import register_default_sketches
+from repro.sketches.virtual_bitmap import VirtualBitmap
+from repro.sketches.windowed import (
+    IntervalReport,
+    SlidingWindowCounter,
+    TumblingWindowCounter,
+)
+
+register_default_sketches()
+
+__all__ = [
+    "AdaptiveSampling",
+    "DistinctCounter",
+    "DistinctSampling",
+    "ExactCounter",
+    "FlajoletMartin",
+    "HyperLogLog",
+    "IntervalReport",
+    "KMinimumValues",
+    "LinearCounting",
+    "LogLog",
+    "MorrisCounter",
+    "MultiresolutionBitmap",
+    "NotMergeableError",
+    "SlidingWindowCounter",
+    "TumblingWindowCounter",
+    "VirtualBitmap",
+    "available_sketches",
+    "create_sketch",
+    "register_default_sketches",
+    "register_sketch",
+]

@@ -1,0 +1,95 @@
+"""Wegman's adaptive sampling (analysed by Flajolet 1990).
+
+The distinct-sampling family reviewed in Section 2.4 of the paper.  The sketch
+keeps a *sample of distinct hashed values* and a sampling depth ``k``:
+
+* an item is kept only if its hash fraction is below ``2^{-k}`` (so replicates
+  of one item are consistently kept or consistently dropped),
+* whenever the sample outgrows its capacity, the depth increases by one and
+  every stored value that no longer passes the new threshold is evicted.
+
+The estimator is ``|sample| * 2^k``.  Flajolet (1990) showed the relative
+error of this scheme oscillates periodically with the unknown cardinality --
+one of the paper's motivating examples of a *non* scale-invariant method.
+"""
+
+from __future__ import annotations
+
+from repro.hashing.family import HashFamily, MixerHashFamily
+from repro.sketches.base import DistinctCounter
+
+__all__ = ["AdaptiveSampling"]
+
+
+class AdaptiveSampling(DistinctCounter):
+    """Wegman/Flajolet adaptive sampling of distinct elements.
+
+    Parameters
+    ----------
+    capacity:
+        Maximum number of hashed values retained.
+    key_bits:
+        Bits charged per stored value in :meth:`memory_bits` (the asymptotic
+        analyses charge ``log2 N``; we default to 64, the width actually
+        stored).
+    seed, hash_family:
+        Hash-family configuration.
+    """
+
+    name = "adaptive_sampling"
+    mergeable = False
+
+    def __init__(
+        self,
+        capacity: int,
+        key_bits: int = 64,
+        seed: int = 0,
+        hash_family: HashFamily | None = None,
+    ) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        if key_bits < 1:
+            raise ValueError(f"key_bits must be positive, got {key_bits}")
+        self.capacity = capacity
+        self.key_bits = key_bits
+        self._hash = hash_family if hash_family is not None else MixerHashFamily(seed)
+        self._depth = 0
+        self._sample: set[int] = set()
+
+    def add(self, item: object) -> None:
+        """Insert the item's hash if it passes the current depth threshold."""
+        value = self._hash.hash64(item)
+        if not self._passes(value):
+            return
+        self._sample.add(value)
+        while len(self._sample) > self.capacity:
+            self._depth += 1
+            self._sample = {v for v in self._sample if self._passes(v)}
+
+    def _passes(self, value: int) -> bool:
+        """True when the hashed value survives sampling at the current depth."""
+        if self._depth == 0:
+            return True
+        if self._depth >= 64:
+            return False
+        # Keep the value when its top `depth` bits are all zero, i.e. its
+        # fraction is below 2^-depth.
+        return (value >> (64 - self._depth)) == 0
+
+    def estimate(self) -> float:
+        """Horvitz--Thompson style estimate ``|sample| * 2^depth``."""
+        return float(len(self._sample)) * 2.0**self._depth
+
+    def memory_bits(self) -> int:
+        """``capacity`` slots of ``key_bits`` bits (allocation, not occupancy)."""
+        return self.capacity * self.key_bits
+
+    @property
+    def depth(self) -> int:
+        """Current sampling depth ``k`` (sampling rate is ``2^-k``)."""
+        return self._depth
+
+    @property
+    def sample_size(self) -> int:
+        """Number of hashed values currently retained."""
+        return len(self._sample)

@@ -1,0 +1,132 @@
+"""Common interface and registry for every distinct-counting sketch.
+
+All sketches -- the paper's S-bitmap and every baseline it is compared with --
+implement :class:`DistinctCounter`.  The interface is intentionally small:
+
+* ``add(item)``            -- process one stream item (duplicates allowed),
+* ``update(iterable)``     -- convenience bulk ``add``,
+* ``estimate()``           -- current cardinality estimate (float),
+* ``memory_bits()``        -- size of the summary statistic in bits, using the
+  same accounting convention as Section 6.2 of the paper (hash-function seeds
+  are not charged),
+* ``merge(other)``         -- combine two sketches built over different streams
+  into one describing the union, when the algorithm supports it
+  (``mergeable`` tells you in advance; S-bitmap famously is not mergeable).
+
+A module-level registry maps short algorithm names (``"sbitmap"``,
+``"hyperloglog"``, ...) to factory callables so experiments and the CLI can
+construct sketches by name with a uniform ``(memory budget, n_max, seed)``
+signature.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Callable, Iterable, Iterator
+
+__all__ = [
+    "DistinctCounter",
+    "NotMergeableError",
+    "SketchFactory",
+    "available_sketches",
+    "create_sketch",
+    "register_sketch",
+]
+
+
+class NotMergeableError(TypeError):
+    """Raised when ``merge`` is called on an algorithm that cannot merge."""
+
+
+class DistinctCounter(abc.ABC):
+    """Abstract base class of all distinct-count sketches."""
+
+    #: Human-readable algorithm name; subclasses override.
+    name: str = "abstract"
+
+    #: Whether two sketches with identical configuration can be merged into a
+    #: sketch of the union stream.
+    mergeable: bool = False
+
+    @abc.abstractmethod
+    def add(self, item: object) -> None:
+        """Process one stream item (replicates of earlier items are fine)."""
+
+    @abc.abstractmethod
+    def estimate(self) -> float:
+        """Return the current estimate of the number of distinct items."""
+
+    @abc.abstractmethod
+    def memory_bits(self) -> int:
+        """Size of the summary statistic in bits (excluding hash seeds)."""
+
+    def update(self, items: Iterable[object]) -> None:
+        """Add every item of ``items`` in order."""
+        for item in items:
+            self.add(item)
+
+    def merge(self, other: "DistinctCounter") -> "DistinctCounter":
+        """Merge ``other`` into ``self`` and return ``self``.
+
+        Subclasses that support merging override this; the default raises
+        :class:`NotMergeableError`.
+        """
+        raise NotMergeableError(
+            f"{type(self).__name__} sketches cannot be merged; build one sketch "
+            "over the concatenated stream instead"
+        )
+
+    def copy(self) -> "DistinctCounter":
+        """Deep copy of the sketch (state and configuration)."""
+        import copy as _copy
+
+        return _copy.deepcopy(self)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"{type(self).__name__}(memory_bits={self.memory_bits()}, "
+            f"estimate={self.estimate():.1f})"
+        )
+
+
+#: Signature of a registry factory: ``factory(memory_bits, n_max, seed)``.
+SketchFactory = Callable[[int, int, int], DistinctCounter]
+
+_REGISTRY: dict[str, SketchFactory] = {}
+
+
+def register_sketch(name: str, factory: SketchFactory) -> None:
+    """Register ``factory`` under ``name`` (lower-case, unique)."""
+    key = name.lower()
+    if key in _REGISTRY:
+        raise ValueError(f"sketch name {name!r} is already registered")
+    _REGISTRY[key] = factory
+
+
+def available_sketches() -> Iterator[str]:
+    """Iterate over the registered sketch names in sorted order."""
+    return iter(sorted(_REGISTRY))
+
+
+def create_sketch(
+    name: str, memory_bits: int, n_max: int, seed: int = 0
+) -> DistinctCounter:
+    """Instantiate a registered sketch by name.
+
+    Parameters
+    ----------
+    name:
+        Registered algorithm name (see :func:`available_sketches`).
+    memory_bits:
+        Memory budget for the summary statistic, in bits.  Every factory
+        dimensions its sketch to fit within this budget.
+    n_max:
+        Upper bound on the cardinalities the sketch must handle.
+    seed:
+        Seed for the hash family (and any internal randomness).
+    """
+    key = name.lower()
+    if key not in _REGISTRY:
+        known = ", ".join(sorted(_REGISTRY)) or "<none>"
+        raise KeyError(f"unknown sketch {name!r}; registered sketches: {known}")
+    return _REGISTRY[key](memory_bits, n_max, seed)

@@ -1,0 +1,49 @@
+"""Exact distinct counter (ground truth for tests, examples and traces).
+
+This is the naive solution discussed at the start of Section 2.1: keep the set
+of items seen so far.  Memory grows linearly with the cardinality, which is
+exactly the behaviour the streaming sketches avoid, but it provides the ground
+truth that every experiment measures errors against.
+"""
+
+from __future__ import annotations
+
+from repro.hashing.mixers import key_to_int
+from repro.sketches.base import DistinctCounter
+
+__all__ = ["ExactCounter"]
+
+
+class ExactCounter(DistinctCounter):
+    """Hash-set distinct counter (exact, memory linear in ``n``)."""
+
+    name = "exact"
+    mergeable = True
+
+    def __init__(self) -> None:
+        self._keys: set[int] = set()
+
+    def add(self, item: object) -> None:
+        """Record one item; duplicates are absorbed by the set."""
+        self._keys.add(key_to_int(item))
+
+    def estimate(self) -> float:
+        """Exact number of distinct items seen."""
+        return float(len(self._keys))
+
+    def memory_bits(self) -> int:
+        """64 bits per stored key (canonicalised representation)."""
+        return 64 * len(self._keys)
+
+    def merge(self, other: DistinctCounter) -> "ExactCounter":
+        """Union of the two key sets."""
+        if not isinstance(other, ExactCounter):
+            raise TypeError("can only merge ExactCounter with ExactCounter")
+        self._keys |= other._keys
+        return self
+
+    def __contains__(self, item: object) -> bool:
+        return key_to_int(item) in self._keys
+
+    def __len__(self) -> int:
+        return len(self._keys)

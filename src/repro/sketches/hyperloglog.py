@@ -1,0 +1,116 @@
+"""HyperLogLog (Flajolet, Fusy, Gandouet & Meunier 2007).
+
+HyperLogLog keeps the same per-register summary statistic as LogLog (the
+maximum ``rho`` of the items routed to each register) but replaces the
+geometric-mean estimator by the harmonic mean
+
+    E = alpha_m * m^2 / sum_j 2^(-M_j),
+
+which reduces the asymptotic relative error from ``1.30/sqrt(m)`` to
+``1.04/sqrt(m)`` -- the constant used by the paper's memory comparison
+(Table 2, Figure 3).  The standard small-range correction switches to linear
+counting on the registers when the raw estimate is small and some registers
+are still zero.
+
+HyperLogLog inherits the register layout from :class:`repro.sketches.loglog.
+LogLog`; only the estimator differs, so the computational cost of the two is
+identical -- exactly the observation made at the end of Section 3.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.theory import register_width_bits
+from repro.sketches.base import DistinctCounter
+from repro.sketches.loglog import LogLog
+
+__all__ = ["HyperLogLog", "hyperloglog_alpha", "hyperloglog_estimate"]
+
+
+def hyperloglog_alpha(num_registers: int) -> float:
+    """Bias-correction constant ``alpha_m`` of Flajolet et al. (2007)."""
+    if num_registers < 2:
+        raise ValueError(f"need at least 2 registers, got {num_registers}")
+    if num_registers <= 16:
+        return 0.673
+    if num_registers <= 32:
+        return 0.697
+    if num_registers <= 64:
+        return 0.709
+    return 0.7213 / (1.0 + 1.079 / num_registers)
+
+
+def hyperloglog_estimate(registers: np.ndarray, axis: int = -1) -> np.ndarray | float:
+    """Vectorised HyperLogLog estimator with the small-range correction.
+
+    ``registers`` may be 1-D (one sketch) or 2-D (one sketch per row); the
+    fast model-level simulators in :mod:`repro.simulation` share this exact
+    estimator with the streaming class.
+    """
+    values = np.asarray(registers, dtype=float)
+    num_registers = values.shape[axis]
+    alpha = hyperloglog_alpha(num_registers)
+    raw = alpha * num_registers**2 / np.sum(np.exp2(-values), axis=axis)
+    zero_registers = np.sum(values == 0, axis=axis)
+    with np.errstate(divide="ignore"):
+        linear = num_registers * np.log(
+            np.where(zero_registers > 0, num_registers / np.maximum(zero_registers, 1), 1.0)
+        )
+    use_linear = (raw <= 2.5 * num_registers) & (zero_registers > 0)
+    result = np.where(use_linear, linear, raw)
+    if np.ndim(result) == 0:
+        return float(result)
+    return result
+
+
+class HyperLogLog(LogLog):
+    """HyperLogLog sketch (register layout shared with :class:`LogLog`)."""
+
+    name = "hyperloglog"
+    mergeable = True
+
+    def __init__(
+        self,
+        num_registers: int,
+        register_width: int = 5,
+        seed: int = 0,
+        hash_family=None,
+    ) -> None:
+        super().__init__(
+            num_registers=num_registers,
+            register_width=register_width,
+            seed=seed,
+            hash_family=hash_family,
+        )
+        self._hll_alpha = hyperloglog_alpha(num_registers)
+
+    @classmethod
+    def from_memory(
+        cls,
+        memory_bits: int,
+        n_max: int,
+        seed: int = 0,
+        hash_family=None,
+    ) -> "HyperLogLog":
+        """Dimension the sketch for a memory budget, using the paper's register width."""
+        width = register_width_bits(n_max)
+        registers = max(2, memory_bits // width)
+        return cls(
+            num_registers=registers,
+            register_width=width,
+            seed=seed,
+            hash_family=hash_family,
+        )
+
+    def estimate(self) -> float:
+        """Harmonic-mean estimator with the small-range (linear counting) correction."""
+        return float(hyperloglog_estimate(self._registers))
+
+    def merge(self, other: DistinctCounter) -> "HyperLogLog":
+        """Register-wise maximum (requires identical configuration)."""
+        if type(other) is not HyperLogLog:
+            raise TypeError("can only merge HyperLogLog with HyperLogLog")
+        self._check_compatible(other)
+        np.maximum(self._registers, other._registers, out=self._registers)
+        return self

@@ -1,0 +1,162 @@
+"""LogLog counting (Durand & Flajolet 2003).
+
+Each item is routed to one of ``m`` registers by the leading bits of its hash;
+the register keeps the maximum of the geometric ``rho`` statistic (position of
+the leftmost 1-bit of the remaining hash bits) over the items routed to it.
+The estimator is the stochastic-averaged geometric mean
+
+    E = alpha_m * m * 2^(mean of registers)
+
+with the bias-correction constant ``alpha_m = (Gamma(-1/m) (1 - 2^{1/m}) /
+ln 2)^{-m}`` (``alpha_m -> 0.39701`` as ``m -> infinity``).  The asymptotic
+relative error is ``~ 1.30 / sqrt(m)``, which is the constant used by the
+paper's memory comparison (Section 6.2).
+
+Registers only need ``ceil(log2 log2 N)`` bits, hence the family name
+"loglog counting".
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.core.theory import register_width_bits
+from repro.hashing.bits import rho
+from repro.hashing.family import HashFamily, MixerHashFamily
+from repro.sketches.base import DistinctCounter
+
+__all__ = ["LogLog", "loglog_alpha", "loglog_estimate"]
+
+
+def loglog_alpha(num_registers: int) -> float:
+    """Bias-correction constant ``alpha_m`` of Durand & Flajolet.
+
+    Computed from the exact formula; falls back to the asymptotic value
+    0.39701 when the formula is numerically fragile (very large ``m``).
+    """
+    if num_registers < 2:
+        raise ValueError(f"need at least 2 registers, got {num_registers}")
+    m = float(num_registers)
+    try:
+        value = (math.gamma(-1.0 / m) * (1.0 - 2.0 ** (1.0 / m)) / math.log(2.0)) ** (
+            -m
+        )
+    except (OverflowError, ValueError):  # pragma: no cover - extreme m only
+        return 0.39701
+    if not 0.3 < value < 0.5:  # pragma: no cover - numerical guard
+        return 0.39701
+    return value
+
+
+def loglog_estimate(registers: np.ndarray, axis: int = -1) -> np.ndarray | float:
+    """Vectorised LogLog estimator ``alpha_m * m * 2^mean(registers)``.
+
+    ``registers`` may be 1-D (one sketch) or 2-D (one sketch per row, with
+    ``axis`` selecting the register dimension); the fast model-level
+    simulators in :mod:`repro.simulation` share this exact estimator with the
+    streaming class so the two paths cannot drift apart.
+    """
+    values = np.asarray(registers, dtype=float)
+    num_registers = values.shape[axis]
+    alpha = loglog_alpha(num_registers)
+    mean_register = values.mean(axis=axis)
+    result = alpha * num_registers * 2.0**mean_register
+    if np.ndim(result) == 0:
+        return float(result)
+    return result
+
+
+class LogLog(DistinctCounter):
+    """LogLog sketch with ``num_registers`` registers of ``register_width`` bits.
+
+    Parameters
+    ----------
+    num_registers:
+        Number of registers ``m`` (the stochastic-averaging groups).
+    register_width:
+        Bits per register; values of ``rho`` are capped at ``2^width - 1``.
+        Defaults to 5 (enough for cardinalities up to ~2^31).
+    seed, hash_family:
+        Hash-family configuration.
+    """
+
+    name = "loglog"
+    mergeable = True
+
+    def __init__(
+        self,
+        num_registers: int,
+        register_width: int = 5,
+        seed: int = 0,
+        hash_family: HashFamily | None = None,
+    ) -> None:
+        if num_registers < 2:
+            raise ValueError(f"need at least 2 registers, got {num_registers}")
+        if not 1 <= register_width <= 8:
+            raise ValueError(
+                f"register_width must be between 1 and 8 bits, got {register_width}"
+            )
+        self.num_registers = num_registers
+        self.register_width = register_width
+        self._max_rho = (1 << register_width) - 1
+        self._hash = hash_family if hash_family is not None else MixerHashFamily(seed)
+        self._registers = np.zeros(num_registers, dtype=np.uint8)
+        self._alpha = loglog_alpha(num_registers)
+
+    @classmethod
+    def from_memory(
+        cls,
+        memory_bits: int,
+        n_max: int,
+        seed: int = 0,
+        hash_family: HashFamily | None = None,
+    ) -> "LogLog":
+        """Dimension the sketch for a memory budget, using the paper's register width."""
+        width = register_width_bits(n_max)
+        registers = max(2, memory_bits // width)
+        return cls(
+            num_registers=registers,
+            register_width=width,
+            seed=seed,
+            hash_family=hash_family,
+        )
+
+    def add(self, item: object) -> None:
+        """Update the register the item routes to with its ``rho`` statistic."""
+        value = self._hash.hash64(item)
+        register = (value >> 32) % self.num_registers
+        observation = min(rho(value & 0xFFFFFFFF, width=32), self._max_rho)
+        if observation > self._registers[register]:
+            self._registers[register] = observation
+
+    def estimate(self) -> float:
+        """Geometric-mean estimator ``alpha_m * m * 2^mean(registers)``."""
+        return float(loglog_estimate(self._registers))
+
+    def memory_bits(self) -> int:
+        """``m`` registers of ``register_width`` bits each."""
+        return self.num_registers * self.register_width
+
+    def merge(self, other: DistinctCounter) -> "LogLog":
+        """Register-wise maximum (requires identical configuration)."""
+        if type(other) is not type(self):
+            raise TypeError(f"can only merge {type(self).__name__} with itself")
+        self._check_compatible(other)
+        np.maximum(self._registers, other._registers, out=self._registers)
+        return self
+
+    def _check_compatible(self, other: "LogLog") -> None:
+        if (other.num_registers, other.register_width) != (
+            self.num_registers,
+            self.register_width,
+        ):
+            raise ValueError("cannot merge sketches with different configurations")
+
+    @property
+    def registers(self) -> np.ndarray:
+        """Read-only view of the register array."""
+        view = self._registers.view()
+        view.flags.writeable = False
+        return view

@@ -1,0 +1,68 @@
+"""Morris approximate counter (Morris 1978).
+
+Not a distinct counter: Morris' classic algorithm counts the *total* number of
+events using ``O(log log n)`` bits by incrementing a small register
+probabilistically.  Section 3 of the S-bitmap paper credits Morris' idea of
+decreasing sampling rates as the inspiration for the S-bitmap's self-learning
+rates (and explains why Morris' scheme itself cannot handle duplicate items).
+It is included here as a substrate/reference implementation and used by the
+ablation experiments to illustrate that connection; it deliberately does *not*
+implement :class:`repro.sketches.base.DistinctCounter`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["MorrisCounter"]
+
+
+class MorrisCounter:
+    """Probabilistic event counter with geometric increment probabilities.
+
+    Parameters
+    ----------
+    base:
+        Growth base ``a > 1``.  The register ``X`` is incremented with
+        probability ``a^{-X}`` and the count estimate is
+        ``(a^X - 1)/(a - 1)``; smaller bases trade memory for accuracy
+        (relative variance is roughly ``(a - 1)/2``).
+    rng:
+        Optional :class:`numpy.random.Generator` (for reproducibility).
+    """
+
+    def __init__(self, base: float = 2.0, rng: np.random.Generator | None = None) -> None:
+        if base <= 1.0:
+            raise ValueError(f"base must exceed 1, got {base}")
+        self.base = base
+        self._rng = rng if rng is not None else np.random.default_rng()
+        self._register = 0
+
+    def increment(self) -> None:
+        """Record one event (increments the register with prob ``base^-X``)."""
+        if self._rng.random() < self.base**-self._register:
+            self._register += 1
+
+    def add(self, count: int) -> None:
+        """Record ``count`` events."""
+        if count < 0:
+            raise ValueError(f"count must be non-negative, got {count}")
+        for _ in range(count):
+            self.increment()
+
+    def estimate(self) -> float:
+        """Unbiased estimate ``(a^X - 1)/(a - 1)`` of the number of events."""
+        return (self.base**self._register - 1.0) / (self.base - 1.0)
+
+    def memory_bits(self) -> int:
+        """Bits needed to store the register value."""
+        return max(1, int(self._register).bit_length())
+
+    @property
+    def register(self) -> int:
+        """Current register value ``X``."""
+        return self._register
+
+    def theoretical_relative_variance(self) -> float:
+        """Asymptotic relative variance ``(a - 1)/2`` of the estimate."""
+        return (self.base - 1.0) / 2.0

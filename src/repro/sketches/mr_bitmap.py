@@ -1,0 +1,226 @@
+"""Multiresolution bitmap (Estan, Varghese & Fisk 2006).
+
+The mr-bitmap embeds several *virtual bitmaps* with geometrically decreasing
+sampling rates into a single bit array (Section 2.2 of the S-bitmap paper).
+The bit array is partitioned into ``K`` components: components
+``1 .. K-1`` ("normal" components) have the same size, and the last component
+is larger.  An item is assigned a resolution level ``g`` with
+``P(g = i) = 2^{-i}`` for ``i < K`` and ``P(g = K) = 2^{-(K-1)}`` (the last
+component absorbs the geometric tail), then sets one bit of its component.
+
+Estimation follows the structure of Estan et al.: starting from the coarsest
+component, find the finest prefix of components that are all still reliable
+(occupancy below a threshold); call the first of them ``base``.  Components
+``base .. K`` together see the fraction ``2^{-(base-1)}`` of distinct items,
+each is decoded with linear counting, and the sum is scaled back up:
+
+    n_hat = 2^(base-1) * sum_{i >= base} b_i * ln(b_i / z_i).
+
+The dimensioning used here (:meth:`MultiresolutionBitmap.design`) follows the
+quasi-optimal rule of thumb from Estan et al. -- enough components for the
+last one to stay below its occupancy threshold at ``n = N``, equal-size normal
+components, a double-size last component.  The S-bitmap paper notes (and our
+Figure 4 / Tables 3-4 reproductions confirm) that this design is not
+scale-invariant and degrades sharply at the upper boundary of the range.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.hashing.family import HashFamily, MixerHashFamily
+from repro.sketches.base import DistinctCounter
+
+__all__ = ["MultiresolutionBitmap", "mr_bitmap_estimate"]
+
+#: Occupancy fraction above which a component is considered unreliable and is
+#: excluded from the estimate (the role of ``setmax`` in Estan et al.).
+DEFAULT_FILL_THRESHOLD = 0.7
+
+
+def mr_bitmap_estimate(
+    component_sizes: list[int],
+    occupancies: list[int],
+    fill_threshold: float = DEFAULT_FILL_THRESHOLD,
+) -> float:
+    """Estimate a cardinality from per-component occupancies.
+
+    Pure function shared by the streaming sketch and the model-level
+    simulator: pick the coarsest reliable level ``base`` (every finer level
+    must be below the occupancy threshold), decode levels ``base .. K`` with
+    linear counting and scale by ``2^(base-1)``.
+    """
+    num_components = len(component_sizes)
+    if len(occupancies) != num_components:
+        raise ValueError("occupancies and component_sizes must have the same length")
+    base = 1
+    for level in range(1, num_components + 1):
+        if occupancies[level - 1] / component_sizes[level - 1] > fill_threshold:
+            base = level + 1
+    if base > num_components:
+        base = num_components
+    total = 0.0
+    for level in range(base, num_components + 1):
+        size = component_sizes[level - 1]
+        empty = size - occupancies[level - 1]
+        if empty <= 0:
+            total += size * math.log(size)
+        else:
+            total += size * math.log(size / empty)
+    return 2.0 ** (base - 1) * total
+
+
+class MultiresolutionBitmap(DistinctCounter):
+    """Multiresolution bitmap with geometric per-component sampling rates.
+
+    Parameters
+    ----------
+    component_sizes:
+        Sizes (in bits) of the components, coarsest (rate 1/2) first; the last
+        entry is the final component that absorbs the geometric tail.  A
+        single entry degenerates to plain linear counting.
+    fill_threshold:
+        Occupancy fraction above which a component is considered saturated.
+    seed, hash_family:
+        Hash-family configuration.
+    """
+
+    name = "mr_bitmap"
+    mergeable = True
+
+    def __init__(
+        self,
+        component_sizes: list[int],
+        fill_threshold: float = DEFAULT_FILL_THRESHOLD,
+        seed: int = 0,
+        hash_family: HashFamily | None = None,
+    ) -> None:
+        if not component_sizes:
+            raise ValueError("at least one component is required")
+        if any(size < 1 for size in component_sizes):
+            raise ValueError("component sizes must all be positive")
+        if not 0.0 < fill_threshold <= 1.0:
+            raise ValueError(
+                f"fill_threshold must lie in (0, 1], got {fill_threshold}"
+            )
+        self.component_sizes = [int(size) for size in component_sizes]
+        self.fill_threshold = fill_threshold
+        self._hash = hash_family if hash_family is not None else MixerHashFamily(seed)
+        self._components = [np.zeros(size, dtype=bool) for size in self.component_sizes]
+
+    # ------------------------------------------------------------------ #
+    # dimensioning
+    # ------------------------------------------------------------------ #
+
+    @classmethod
+    def design(
+        cls,
+        memory_bits: int,
+        n_max: int,
+        seed: int = 0,
+        fill_threshold: float = DEFAULT_FILL_THRESHOLD,
+        hash_family: HashFamily | None = None,
+    ) -> "MultiresolutionBitmap":
+        """Quasi-optimal design for a memory budget ``m`` and range bound ``N``.
+
+        Chooses the smallest number of components such that the expected
+        number of distinct items reaching the last component at ``n = N``
+        keeps its occupancy below ``fill_threshold``; normal components share
+        the remaining bits equally and the last component gets twice a normal
+        component's share (Estan et al. give the last component extra room).
+        """
+        if memory_bits < 8:
+            raise ValueError(f"memory budget too small: {memory_bits} bits")
+        if n_max < 1:
+            raise ValueError(f"n_max must be positive, got {n_max}")
+        capacity_factor = -math.log(1.0 - min(fill_threshold, 0.999))
+        num_components = 1
+        while num_components < 64:
+            last_bits = max(1, (2 * memory_bits) // (num_components + 1))
+            expected_last = n_max * 2.0 ** -(num_components - 1)
+            if expected_last <= capacity_factor * last_bits:
+                break
+            num_components += 1
+        if num_components == 1:
+            sizes = [memory_bits]
+        else:
+            normal_bits = memory_bits // (num_components + 1)
+            if normal_bits < 1:
+                raise ValueError(
+                    f"memory budget of {memory_bits} bits cannot accommodate "
+                    f"{num_components} components for N={n_max}"
+                )
+            sizes = [normal_bits] * (num_components - 1)
+            sizes.append(memory_bits - normal_bits * (num_components - 1))
+        return cls(
+            component_sizes=sizes,
+            fill_threshold=fill_threshold,
+            seed=seed,
+            hash_family=hash_family,
+        )
+
+    # ------------------------------------------------------------------ #
+    # DistinctCounter interface
+    # ------------------------------------------------------------------ #
+
+    @property
+    def num_components(self) -> int:
+        """Number of components ``K``."""
+        return len(self.component_sizes)
+
+    def _level_of(self, fraction: float) -> int:
+        """Resolution level (1-based) of an item with hash fraction ``fraction``.
+
+        Level ``i < K`` covers the interval ``[2^{-i}, 2^{-(i-1)})`` so that
+        ``P(level = i) = 2^{-i}``; the last level absorbs ``[0, 2^{-(K-1)})``.
+        """
+        last = self.num_components
+        for level in range(1, last):
+            if fraction >= 2.0**-level:
+                return level
+        return last
+
+    def add(self, item: object) -> None:
+        """Route the item to its resolution level and set one bit there."""
+        value = self._hash.hash64(item)
+        fraction = (value & 0xFFFFFFFF) * 2.0**-32
+        level = self._level_of(fraction)
+        component = self._components[level - 1]
+        bucket = (value >> 32) % component.shape[0]
+        component[bucket] = True
+
+    def estimate(self) -> float:
+        """Combine the reliable components with linear counting.
+
+        ``base`` is the coarsest level such that every component at levels
+        ``base .. K`` is below the occupancy threshold; if even the last
+        component is saturated, the estimate degenerates to decoding the last
+        component alone (this is the boundary failure mode visible in the
+        paper's Tables 3-4 and Figure 4).
+        """
+        occupancies = [int(np.count_nonzero(bits)) for bits in self._components]
+        return mr_bitmap_estimate(
+            self.component_sizes, occupancies, self.fill_threshold
+        )
+
+    def memory_bits(self) -> int:
+        """Total bits across all components."""
+        return sum(self.component_sizes)
+
+    def merge(self, other: DistinctCounter) -> "MultiresolutionBitmap":
+        """Bitwise OR of matching components (same design required)."""
+        if not isinstance(other, MultiresolutionBitmap):
+            raise TypeError(
+                "can only merge MultiresolutionBitmap with MultiresolutionBitmap"
+            )
+        if other.component_sizes != self.component_sizes:
+            raise ValueError("cannot merge mr-bitmaps with different designs")
+        for mine, theirs in zip(self._components, other._components):
+            mine |= theirs
+        return self
+
+    def component_occupancies(self) -> list[int]:
+        """Number of set bits per component (coarsest first)."""
+        return [int(np.count_nonzero(bits)) for bits in self._components]

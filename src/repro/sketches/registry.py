@@ -1,0 +1,95 @@
+"""Registration of all built-in sketches under uniform factory signatures.
+
+Every factory takes ``(memory_bits, n_max, seed)`` and returns a sketch
+dimensioned for that memory budget and cardinality range -- the convention the
+experiment drivers and the CLI rely on when comparing algorithms "at the same
+memory" (Section 6.2, Figure 4, Tables 3-4).
+"""
+
+from __future__ import annotations
+
+from repro.sketches.adaptive_sampling import AdaptiveSampling
+from repro.sketches.base import DistinctCounter, register_sketch
+from repro.sketches.distinct_sampling import DistinctSampling
+from repro.sketches.exact import ExactCounter
+from repro.sketches.fm import FlajoletMartin
+from repro.sketches.hyperloglog import HyperLogLog
+from repro.sketches.kmv import KMinimumValues
+from repro.sketches.linear_counting import LinearCounting
+from repro.sketches.loglog import LogLog
+from repro.sketches.mr_bitmap import MultiresolutionBitmap
+from repro.sketches.virtual_bitmap import VirtualBitmap
+
+__all__ = ["register_default_sketches"]
+
+_REGISTERED = False
+
+
+def _sbitmap_factory(memory_bits: int, n_max: int, seed: int) -> DistinctCounter:
+    # Imported lazily: repro.core.sbitmap itself imports repro.sketches.base,
+    # so a module-level import here would create an import cycle.
+    from repro.core.sbitmap import SBitmap
+
+    return SBitmap.from_memory(memory_bits, n_max, seed=seed)
+
+
+def _linear_counting_factory(memory_bits: int, n_max: int, seed: int) -> DistinctCounter:
+    return LinearCounting(num_bits=memory_bits, seed=seed)
+
+
+def _virtual_bitmap_factory(memory_bits: int, n_max: int, seed: int) -> DistinctCounter:
+    return VirtualBitmap.for_range(num_bits=memory_bits, n_max=n_max, seed=seed)
+
+
+def _mr_bitmap_factory(memory_bits: int, n_max: int, seed: int) -> DistinctCounter:
+    return MultiresolutionBitmap.design(memory_bits=memory_bits, n_max=n_max, seed=seed)
+
+
+def _fm_factory(memory_bits: int, n_max: int, seed: int) -> DistinctCounter:
+    return FlajoletMartin.from_memory(memory_bits=memory_bits, n_max=n_max, seed=seed)
+
+
+def _loglog_factory(memory_bits: int, n_max: int, seed: int) -> DistinctCounter:
+    return LogLog.from_memory(memory_bits=memory_bits, n_max=n_max, seed=seed)
+
+
+def _hyperloglog_factory(memory_bits: int, n_max: int, seed: int) -> DistinctCounter:
+    return HyperLogLog.from_memory(memory_bits=memory_bits, n_max=n_max, seed=seed)
+
+
+def _adaptive_sampling_factory(memory_bits: int, n_max: int, seed: int) -> DistinctCounter:
+    capacity = max(1, memory_bits // 64)
+    return AdaptiveSampling(capacity=capacity, seed=seed)
+
+
+def _distinct_sampling_factory(memory_bits: int, n_max: int, seed: int) -> DistinctCounter:
+    capacity = max(1, memory_bits // 64)
+    return DistinctSampling(capacity=capacity, seed=seed)
+
+
+def _kmv_factory(memory_bits: int, n_max: int, seed: int) -> DistinctCounter:
+    k = max(2, memory_bits // 64)
+    return KMinimumValues(k=k, seed=seed)
+
+
+def _exact_factory(memory_bits: int, n_max: int, seed: int) -> DistinctCounter:
+    return ExactCounter()
+
+
+def register_default_sketches() -> None:
+    """Register every built-in sketch (idempotent)."""
+    global _REGISTERED
+    if _REGISTERED:
+        return
+    register_sketch("sbitmap", _sbitmap_factory)
+    register_sketch("linear_counting", _linear_counting_factory)
+    register_sketch("virtual_bitmap", _virtual_bitmap_factory)
+    register_sketch("mr_bitmap", _mr_bitmap_factory)
+    register_sketch("fm", _fm_factory)
+    register_sketch("loglog", _loglog_factory)
+    register_sketch("hyperloglog", _hyperloglog_factory)
+    register_sketch("adaptive_sampling", _adaptive_sampling_factory)
+    register_sketch("distinct_sampling", _distinct_sampling_factory)
+    register_sketch("kmv", _kmv_factory)
+    register_sketch("exact", _exact_factory)
+    _REGISTERED = True

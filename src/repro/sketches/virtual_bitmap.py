@@ -1,0 +1,115 @@
+"""Virtual bitmap: linear counting over a sampled sub-stream (Estan et al.).
+
+Section 2.2 of the paper: to push a small bitmap beyond ``m log m``
+cardinalities one can apply the bitmap only to items sampled with a fixed
+rate ``r`` and scale the linear-counting estimate by ``1/r``.  A single rate
+cannot cover a wide cardinality range accurately -- the motivation both for
+the multiresolution bitmap (:mod:`repro.sketches.mr_bitmap`) and for the
+S-bitmap's *adaptive* rates.
+
+The sampling decision is made by hashing (not by coin flips) so duplicates of
+an item are either all sampled or all skipped, keeping the sketch
+duplicate-insensitive.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.hashing.family import HashFamily, MixerHashFamily
+from repro.sketches.base import DistinctCounter
+
+__all__ = ["VirtualBitmap"]
+
+
+class VirtualBitmap(DistinctCounter):
+    """Sampled bitmap with fixed sampling rate.
+
+    Parameters
+    ----------
+    num_bits:
+        Physical bitmap size ``m``.
+    sampling_rate:
+        Fraction of distinct items admitted into the bitmap, in ``(0, 1]``.
+    seed, hash_family:
+        Hash-family configuration (one hash supplies both the sampling variate
+        and the bucket index, from disjoint bit fields).
+    """
+
+    name = "virtual_bitmap"
+    mergeable = True
+
+    def __init__(
+        self,
+        num_bits: int,
+        sampling_rate: float = 1.0,
+        seed: int = 0,
+        hash_family: HashFamily | None = None,
+    ) -> None:
+        if num_bits < 1:
+            raise ValueError(f"num_bits must be positive, got {num_bits}")
+        if not 0.0 < sampling_rate <= 1.0:
+            raise ValueError(
+                f"sampling_rate must lie in (0, 1], got {sampling_rate}"
+            )
+        self.num_bits = num_bits
+        self.sampling_rate = sampling_rate
+        self._hash = hash_family if hash_family is not None else MixerHashFamily(seed)
+        self._bits = np.zeros(num_bits, dtype=bool)
+
+    @classmethod
+    def for_range(
+        cls,
+        num_bits: int,
+        n_max: int,
+        seed: int = 0,
+        target_load: float = 0.7,
+    ) -> "VirtualBitmap":
+        """Pick the sampling rate so that ``N`` distinct items fill ~``target_load``.
+
+        Solves ``1 - exp(-r N / m) = target_load`` for ``r``; this is the
+        single-rate design whose accuracy inevitably degrades for small ``n``
+        (Section 2.2).
+        """
+        if not 0.0 < target_load < 1.0:
+            raise ValueError(f"target_load must lie in (0, 1), got {target_load}")
+        if n_max < 1:
+            raise ValueError(f"n_max must be positive, got {n_max}")
+        rate = min(1.0, -num_bits * math.log(1.0 - target_load) / n_max)
+        return cls(num_bits=num_bits, sampling_rate=rate, seed=seed)
+
+    def add(self, item: object) -> None:
+        """Admit the item with probability ``sampling_rate`` (by hashing)."""
+        value = self._hash.hash64(item)
+        sample_variate = (value & 0xFFFFFFFF) * 2.0**-32
+        if sample_variate >= self.sampling_rate:
+            return
+        bucket = (value >> 32) % self.num_bits
+        self._bits[bucket] = True
+
+    def estimate(self) -> float:
+        """Scaled linear-counting estimate ``(1/r) m ln(m / Z)``."""
+        empty = int(self.num_bits - np.count_nonzero(self._bits))
+        if empty == 0:
+            return self.num_bits * math.log(self.num_bits) / self.sampling_rate
+        return self.num_bits * math.log(self.num_bits / empty) / self.sampling_rate
+
+    def memory_bits(self) -> int:
+        """The bitmap itself: ``m`` bits."""
+        return self.num_bits
+
+    def merge(self, other: DistinctCounter) -> "VirtualBitmap":
+        """Bitwise OR of two virtual bitmaps with identical configuration."""
+        if not isinstance(other, VirtualBitmap):
+            raise TypeError("can only merge VirtualBitmap with VirtualBitmap")
+        if (other.num_bits, other.sampling_rate) != (self.num_bits, self.sampling_rate):
+            raise ValueError("cannot merge virtual bitmaps with different designs")
+        self._bits |= other._bits
+        return self
+
+    @property
+    def occupied(self) -> int:
+        """Number of set bits."""
+        return int(np.count_nonzero(self._bits))

@@ -1,0 +1,204 @@
+"""Windowed distinct counting on top of any registered sketch.
+
+Network monitors rarely want an all-time count: Section 7 of the paper counts
+flows *per minute* and *per five-minute interval*.  This module packages the
+two standard patterns so applications do not have to manage sketch rotation
+by hand:
+
+* :class:`TumblingWindowCounter` -- non-overlapping intervals; each interval
+  gets a fresh sketch and finished intervals are reported with their final
+  estimate (the Figure 5 per-minute setting).
+* :class:`SlidingWindowCounter` -- "distinct items over the last W intervals"
+  answered by keeping one *mergeable* sketch per recent interval and merging
+  the last W of them at query time (the S-bitmap itself is not mergeable, so
+  this class requires a mergeable algorithm such as HyperLogLog or linear
+  counting and will refuse otherwise).
+
+Timestamps are abstract interval indices (integers): callers map wall-clock
+time to an interval however they like (e.g. ``minute = int(ts // 60)``).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+
+from repro.sketches.base import DistinctCounter, NotMergeableError, create_sketch
+
+__all__ = ["IntervalReport", "TumblingWindowCounter", "SlidingWindowCounter"]
+
+
+@dataclass(frozen=True)
+class IntervalReport:
+    """Final report of one closed interval."""
+
+    interval: int
+    estimate: float
+    items_processed: int
+
+
+class TumblingWindowCounter:
+    """Per-interval distinct counts with automatic sketch rotation.
+
+    Parameters
+    ----------
+    algorithm:
+        Registered sketch name (any algorithm works; the default is the
+        S-bitmap since intervals are independent).
+    memory_bits, n_max, seed:
+        Sketch configuration, passed to the factory for every interval.
+    """
+
+    def __init__(
+        self,
+        algorithm: str = "sbitmap",
+        memory_bits: int = 8_000,
+        n_max: int = 1_000_000,
+        seed: int = 0,
+    ) -> None:
+        self.algorithm = algorithm
+        self.memory_bits = memory_bits
+        self.n_max = n_max
+        self.seed = seed
+        self._current_interval: int | None = None
+        self._current_sketch: DistinctCounter | None = None
+        self._items_in_interval = 0
+        self._closed: list[IntervalReport] = []
+
+    def add(self, interval: int, item: object) -> None:
+        """Add one item observed during ``interval``.
+
+        Intervals must be fed in non-decreasing order; moving to a later
+        interval closes every earlier one.
+        """
+        if self._current_interval is not None and interval < self._current_interval:
+            raise ValueError(
+                f"intervals must be non-decreasing: got {interval} after "
+                f"{self._current_interval}"
+            )
+        if interval != self._current_interval:
+            self._close_current()
+            self._current_interval = interval
+            self._current_sketch = create_sketch(
+                self.algorithm,
+                self.memory_bits,
+                self.n_max,
+                seed=self.seed * 1_000_003 + interval,
+            )
+            self._items_in_interval = 0
+        assert self._current_sketch is not None
+        self._current_sketch.add(item)
+        self._items_in_interval += 1
+
+    def _close_current(self) -> None:
+        if self._current_interval is None or self._current_sketch is None:
+            return
+        self._closed.append(
+            IntervalReport(
+                interval=self._current_interval,
+                estimate=self._current_sketch.estimate(),
+                items_processed=self._items_in_interval,
+            )
+        )
+
+    def current_estimate(self) -> float:
+        """Estimate of the (still open) current interval."""
+        if self._current_sketch is None:
+            return 0.0
+        return self._current_sketch.estimate()
+
+    def flush(self) -> list[IntervalReport]:
+        """Close the current interval and return every finished report."""
+        self._close_current()
+        self._current_interval = None
+        self._current_sketch = None
+        self._items_in_interval = 0
+        return list(self._closed)
+
+    @property
+    def reports(self) -> list[IntervalReport]:
+        """Reports of the intervals closed so far (excluding the open one)."""
+        return list(self._closed)
+
+
+class SlidingWindowCounter:
+    """Distinct items over the last ``window`` intervals (mergeable sketches).
+
+    One sketch is kept per recent interval; the window query merges copies of
+    the most recent ``window`` sketches.  Memory is bounded by
+    ``window * memory_bits`` plus the retired intervals that have already been
+    evicted.
+    """
+
+    def __init__(
+        self,
+        window: int,
+        algorithm: str = "hyperloglog",
+        memory_bits: int = 4_000,
+        n_max: int = 1_000_000,
+        seed: int = 0,
+    ) -> None:
+        if window < 1:
+            raise ValueError(f"window must be at least 1 interval, got {window}")
+        probe = create_sketch(algorithm, memory_bits, n_max, seed=seed)
+        if not probe.mergeable:
+            raise NotMergeableError(
+                f"sliding-window counting needs a mergeable sketch; "
+                f"{algorithm!r} is not (the S-bitmap's state depends on arrival "
+                "order -- use tumbling windows with it instead)"
+            )
+        self.window = window
+        self.algorithm = algorithm
+        self.memory_bits = memory_bits
+        self.n_max = n_max
+        self.seed = seed
+        self._per_interval: OrderedDict[int, DistinctCounter] = OrderedDict()
+
+    def add(self, interval: int, item: object) -> None:
+        """Add one item observed during ``interval`` (any order of intervals)."""
+        sketch = self._per_interval.get(interval)
+        if sketch is None:
+            # Every interval must use the SAME hash seed, otherwise merging
+            # registers/bitmaps across intervals would be meaningless.
+            sketch = create_sketch(
+                self.algorithm, self.memory_bits, self.n_max, seed=self.seed
+            )
+            self._per_interval[interval] = sketch
+            self._evict(interval)
+        sketch.add(item)
+
+    def _evict(self, latest_interval: int) -> None:
+        cutoff = latest_interval - 4 * self.window
+        stale = [key for key in self._per_interval if key < cutoff]
+        for key in stale:
+            del self._per_interval[key]
+
+    def estimate(self, as_of_interval: int | None = None) -> float:
+        """Distinct items over ``[as_of - window + 1, as_of]``.
+
+        ``as_of_interval`` defaults to the latest interval seen.
+        """
+        if not self._per_interval:
+            return 0.0
+        latest = (
+            max(self._per_interval) if as_of_interval is None else as_of_interval
+        )
+        in_window = [
+            sketch
+            for interval, sketch in self._per_interval.items()
+            if latest - self.window < interval <= latest
+        ]
+        if not in_window:
+            return 0.0
+        combined = in_window[0].copy()
+        for other in in_window[1:]:
+            combined.merge(other.copy())
+        return combined.estimate()
+
+    def intervals_tracked(self) -> list[int]:
+        """Interval indices currently held in memory (oldest first)."""
+        return sorted(self._per_interval)
+
+    def memory_bits_total(self) -> int:
+        """Total summary memory across the retained per-interval sketches."""
+        return sum(sketch.memory_bits() for sketch in self._per_interval.values())

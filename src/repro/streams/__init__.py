@@ -1,0 +1,50 @@
+"""Workload generators: synthetic streams and network-trace substitutes.
+
+* :mod:`repro.streams.generators` -- generic item streams with controlled
+  cardinality and duplication (distinct, uniform-duplicated, Zipf).
+* :mod:`repro.streams.network` -- the flow-record model plus the synthetic
+  substitutes for the paper's two proprietary datasets (the Slammer worm
+  traces of Section 7.1 and the Tier-1 backbone snapshot of Section 7.2).
+"""
+
+from repro.streams.file_io import (
+    FLOW_CSV_COLUMNS,
+    read_csv_keys,
+    read_lines,
+    write_flow_csv,
+    write_lines,
+)
+from repro.streams.generators import (
+    StreamSpec,
+    as_rng,
+    distinct_stream,
+    duplicated_stream,
+    shuffled,
+    zipf_stream,
+)
+from repro.streams.network import (
+    BackboneSnapshotGenerator,
+    FlowRecord,
+    LinkModel,
+    SlammerTraceGenerator,
+    flows_for_interval,
+)
+
+__all__ = [
+    "BackboneSnapshotGenerator",
+    "FLOW_CSV_COLUMNS",
+    "FlowRecord",
+    "LinkModel",
+    "SlammerTraceGenerator",
+    "StreamSpec",
+    "as_rng",
+    "distinct_stream",
+    "duplicated_stream",
+    "flows_for_interval",
+    "read_csv_keys",
+    "read_lines",
+    "shuffled",
+    "write_flow_csv",
+    "write_lines",
+    "zipf_stream",
+]

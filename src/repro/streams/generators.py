@@ -1,0 +1,182 @@
+"""Synthetic stream generators for tests, examples and experiments.
+
+The distinct-counting problem is defined over a sequence of items with
+replicates (Section 2.1); all sketches in this library are insensitive to the
+duplication pattern by construction, but examples and integration tests need
+realistic streams with controlled ground truth.  This module provides:
+
+* :func:`distinct_stream` -- ``n`` distinct keys, no repetition,
+* :func:`duplicated_stream` -- ``n`` distinct keys with a configurable total
+  length, each extra occurrence drawn uniformly from the key set,
+* :func:`zipf_stream` -- heavy-tailed repetition (a few keys dominate the
+  traffic), the typical shape of per-flow packet counts,
+* :func:`shuffled` -- random permutation helper,
+* :class:`StreamSpec` -- a declarative description used by the CLI and the
+  integration tests.
+
+All generators are deterministic given a :class:`numpy.random.Generator` (or
+an integer seed) and yield lazily so arbitrarily long streams never have to be
+materialised.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator
+
+import numpy as np
+
+__all__ = [
+    "StreamSpec",
+    "as_rng",
+    "distinct_stream",
+    "duplicated_stream",
+    "shuffled",
+    "zipf_stream",
+]
+
+
+def as_rng(seed_or_rng: int | np.random.Generator | None) -> np.random.Generator:
+    """Coerce an integer seed (or ``None``) into a numpy Generator."""
+    if isinstance(seed_or_rng, np.random.Generator):
+        return seed_or_rng
+    return np.random.default_rng(seed_or_rng)
+
+
+def distinct_stream(
+    num_distinct: int, prefix: str = "item", start: int = 0
+) -> Iterator[str]:
+    """Yield exactly ``num_distinct`` distinct string keys (no duplicates)."""
+    if num_distinct < 0:
+        raise ValueError(f"num_distinct must be non-negative, got {num_distinct}")
+    for index in range(start, start + num_distinct):
+        yield f"{prefix}-{index}"
+
+
+def duplicated_stream(
+    num_distinct: int,
+    total_items: int,
+    seed_or_rng: int | np.random.Generator | None = None,
+    prefix: str = "item",
+) -> Iterator[str]:
+    """Yield a stream with ``num_distinct`` distinct keys and ``total_items`` items.
+
+    Every key appears at least once (so the ground-truth cardinality is exactly
+    ``num_distinct``); the remaining ``total_items - num_distinct`` occurrences
+    are drawn uniformly at random from the key set and interleaved.
+    """
+    if num_distinct < 0:
+        raise ValueError(f"num_distinct must be non-negative, got {num_distinct}")
+    if total_items < num_distinct:
+        raise ValueError(
+            f"total_items ({total_items}) must be at least num_distinct "
+            f"({num_distinct})"
+        )
+    rng = as_rng(seed_or_rng)
+    extras = total_items - num_distinct
+    if num_distinct == 0:
+        return
+    extra_keys = rng.integers(0, num_distinct, size=extras)
+    # Interleave: emit each distinct key once, inserting extras at random
+    # positions determined by a shuffled schedule.
+    schedule = np.concatenate(
+        [np.arange(num_distinct), np.full(extras, -1, dtype=np.int64)]
+    )
+    rng.shuffle(schedule)
+    extra_index = 0
+    for slot in schedule:
+        if slot >= 0:
+            yield f"{prefix}-{slot}"
+        else:
+            yield f"{prefix}-{extra_keys[extra_index]}"
+            extra_index += 1
+
+
+def zipf_stream(
+    num_distinct: int,
+    total_items: int,
+    exponent: float = 1.2,
+    seed_or_rng: int | np.random.Generator | None = None,
+    prefix: str = "item",
+) -> Iterator[str]:
+    """Yield a heavy-tailed stream: key frequencies follow a Zipf law.
+
+    The ground-truth cardinality is exactly ``num_distinct`` (every key is
+    emitted at least once); the remaining occurrences are allocated with
+    probability proportional to ``rank^-exponent``.
+    """
+    if exponent <= 0:
+        raise ValueError(f"exponent must be positive, got {exponent}")
+    if num_distinct < 0:
+        raise ValueError(f"num_distinct must be non-negative, got {num_distinct}")
+    if total_items < num_distinct:
+        raise ValueError(
+            f"total_items ({total_items}) must be at least num_distinct "
+            f"({num_distinct})"
+        )
+    if num_distinct == 0:
+        return
+    rng = as_rng(seed_or_rng)
+    ranks = np.arange(1, num_distinct + 1, dtype=float)
+    weights = ranks**-exponent
+    weights /= weights.sum()
+    extras = total_items - num_distinct
+    extra_keys = rng.choice(num_distinct, size=extras, p=weights) if extras else []
+    schedule = np.concatenate(
+        [np.arange(num_distinct), np.full(extras, -1, dtype=np.int64)]
+    )
+    rng.shuffle(schedule)
+    extra_index = 0
+    for slot in schedule:
+        if slot >= 0:
+            yield f"{prefix}-{slot}"
+        else:
+            yield f"{prefix}-{extra_keys[extra_index]}"
+            extra_index += 1
+
+
+def shuffled(
+    items: Iterable[object], seed_or_rng: int | np.random.Generator | None = None
+) -> list[object]:
+    """Return the items of ``items`` in a uniformly random order."""
+    rng = as_rng(seed_or_rng)
+    materialised = list(items)
+    rng.shuffle(materialised)
+    return materialised
+
+
+@dataclass(frozen=True)
+class StreamSpec:
+    """Declarative stream description used by the CLI and integration tests.
+
+    Attributes
+    ----------
+    kind:
+        One of ``"distinct"``, ``"duplicated"``, ``"zipf"``.
+    num_distinct:
+        Ground-truth cardinality.
+    total_items:
+        Total stream length (ignored for ``"distinct"``).
+    exponent:
+        Zipf exponent (only for ``"zipf"``).
+    seed:
+        Seed for the duplication pattern.
+    """
+
+    kind: str
+    num_distinct: int
+    total_items: int = 0
+    exponent: float = 1.2
+    seed: int = 0
+
+    def generate(self) -> Iterator[str]:
+        """Instantiate the stream this spec describes."""
+        if self.kind == "distinct":
+            return distinct_stream(self.num_distinct)
+        if self.kind == "duplicated":
+            total = max(self.total_items, self.num_distinct)
+            return duplicated_stream(self.num_distinct, total, self.seed)
+        if self.kind == "zipf":
+            total = max(self.total_items, self.num_distinct)
+            return zipf_stream(self.num_distinct, total, self.exponent, self.seed)
+        raise ValueError(f"unknown stream kind {self.kind!r}")

@@ -1,0 +1,267 @@
+"""Network-trace substrate: flow records, worm-outbreak and backbone workloads.
+
+Section 7 of the paper evaluates S-bitmap on two real datasets that are not
+redistributable:
+
+* the MIT-LCS "Slammer outbreak" packet traces (two peering links, 9 hours,
+  Jan 25 2003) used for per-minute flow counting (Figures 5-6), and
+* a snapshot of five-minute flow counts on 600 backbone links of a Tier-1
+  provider (Figures 7-8), for which the paper itself says "since the original
+  traces are not available, we use simulated data for each link".
+
+This module provides faithful synthetic substitutes that exercise the same
+code paths:
+
+* :class:`FlowRecord` / :func:`flows_for_interval` -- flow keys (5-tuples)
+  with realistic duplication (packets per flow), for streaming-mode runs;
+* :class:`SlammerTraceGenerator` -- per-minute flow-count time series on two
+  links with a stable baseline and bursty worm-scanner spikes of roughly an
+  order of magnitude, mimicking Figure 5's shape;
+* :class:`BackboneSnapshotGenerator` -- 600 per-link flow counts whose
+  distribution is calibrated to the quantiles the paper reports for Figure 7
+  (0.1%, 25%, 50%, 75%, 99% ~= 18, 196, 2817, 19401, 361485).
+
+The substitutions are documented in DESIGN.md; every generator is
+deterministic given its seed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+import numpy as np
+
+from repro.streams.generators import as_rng
+
+__all__ = [
+    "FlowRecord",
+    "flows_for_interval",
+    "LinkModel",
+    "SlammerTraceGenerator",
+    "BackboneSnapshotGenerator",
+]
+
+
+@dataclass(frozen=True)
+class FlowRecord:
+    """A single packet observation, identified by its flow 5-tuple."""
+
+    src_ip: str
+    dst_ip: str
+    src_port: int
+    dst_port: int
+    protocol: str = "tcp"
+
+    @property
+    def key(self) -> tuple[str, str, int, int, str]:
+        """The flow identity: packets with equal keys belong to one flow."""
+        return (self.src_ip, self.dst_ip, self.src_port, self.dst_port, self.protocol)
+
+
+def flows_for_interval(
+    num_flows: int,
+    seed_or_rng: int | np.random.Generator | None = None,
+    mean_packets_per_flow: float = 3.0,
+    interval_id: int = 0,
+) -> Iterator[tuple[str, str, int, int, str]]:
+    """Yield flow keys (with per-flow packet duplication) for one interval.
+
+    Exactly ``num_flows`` distinct flow keys are produced; each flow emits a
+    Geometric number of packets with the given mean, interleaved in arrival
+    order.  The interval id is folded into the addresses so that different
+    intervals produce (mostly) different flows, as on a real link.
+    """
+    if num_flows < 0:
+        raise ValueError(f"num_flows must be non-negative, got {num_flows}")
+    if mean_packets_per_flow < 1.0:
+        raise ValueError(
+            f"mean_packets_per_flow must be at least 1, got {mean_packets_per_flow}"
+        )
+    rng = as_rng(seed_or_rng)
+    if num_flows == 0:
+        return
+    packet_counts = rng.geometric(1.0 / mean_packets_per_flow, size=num_flows)
+    # Build the flow keys up-front (cheap tuples), then emit packets flow by
+    # flow with a light interleave: real traces interleave packets of
+    # concurrent flows, but every sketch here is order-insensitive, so a
+    # blockwise emission preserves all relevant statistics.
+    for flow_index in range(num_flows):
+        src = f"10.{interval_id % 251}.{(flow_index >> 8) % 251}.{flow_index % 251}"
+        dst = f"192.168.{rng.integers(0, 255)}.{rng.integers(0, 255)}"
+        key = (
+            src,
+            dst,
+            int(rng.integers(1024, 65535)),
+            int(rng.integers(1, 1024)),
+            "udp" if rng.random() < 0.3 else "tcp",
+        )
+        for _ in range(int(packet_counts[flow_index])):
+            yield key
+
+
+@dataclass(frozen=True)
+class LinkModel:
+    """Per-minute flow-count model of one monitored link.
+
+    The log2 flow count follows a slowly varying baseline (sinusoidal diurnal
+    component plus AR(1) noise) with occasional worm-scan bursts that add one
+    to three octaves, reproducing the bursty spikes visible in Figure 5.
+    """
+
+    name: str
+    base_log2: float
+    diurnal_amplitude: float = 0.25
+    noise_scale: float = 0.12
+    burst_probability: float = 0.03
+    burst_log2_min: float = 1.0
+    burst_log2_max: float = 3.5
+
+    def minute_counts(
+        self, num_minutes: int, rng: np.random.Generator
+    ) -> np.ndarray:
+        """Simulate the per-minute true flow counts for ``num_minutes``."""
+        if num_minutes < 1:
+            raise ValueError(f"num_minutes must be positive, got {num_minutes}")
+        minutes = np.arange(num_minutes)
+        diurnal = self.diurnal_amplitude * np.sin(2.0 * np.pi * minutes / 540.0)
+        noise = np.zeros(num_minutes)
+        innovations = rng.normal(0.0, self.noise_scale, size=num_minutes)
+        for index in range(1, num_minutes):
+            noise[index] = 0.8 * noise[index - 1] + innovations[index]
+        bursts = np.where(
+            rng.random(num_minutes) < self.burst_probability,
+            rng.uniform(self.burst_log2_min, self.burst_log2_max, size=num_minutes),
+            0.0,
+        )
+        log2_counts = self.base_log2 + diurnal + noise + bursts
+        return np.maximum(np.round(2.0**log2_counts), 1.0).astype(np.int64)
+
+
+class SlammerTraceGenerator:
+    """Synthetic substitute for the MIT-LCS Slammer traces (two links, 9 hours).
+
+    Parameters
+    ----------
+    num_minutes:
+        Number of one-minute intervals to generate (the paper uses ~540).
+    seed:
+        Seed controlling every random choice.
+    links:
+        Link models; defaults to two links whose baselines match the ranges
+        visible in Figure 5 (link 1 around 2^15, link 0 around 2^16.5).
+    """
+
+    def __init__(
+        self,
+        num_minutes: int = 540,
+        seed: int = 0,
+        links: tuple[LinkModel, ...] | None = None,
+    ) -> None:
+        if num_minutes < 1:
+            raise ValueError(f"num_minutes must be positive, got {num_minutes}")
+        self.num_minutes = num_minutes
+        self.seed = seed
+        self.links = (
+            links
+            if links is not None
+            else (
+                LinkModel(name="link1", base_log2=15.0),
+                LinkModel(name="link0", base_log2=16.5),
+            )
+        )
+
+    def link_names(self) -> list[str]:
+        """Names of the simulated links."""
+        return [link.name for link in self.links]
+
+    def true_counts(self) -> dict[str, np.ndarray]:
+        """Per-minute true flow counts for every link."""
+        counts: dict[str, np.ndarray] = {}
+        for index, link in enumerate(self.links):
+            rng = as_rng(self.seed * 1_000_003 + index)
+            counts[link.name] = link.minute_counts(self.num_minutes, rng)
+        return counts
+
+    def intervals(
+        self, link_name: str, mean_packets_per_flow: float = 3.0
+    ) -> Iterator[tuple[int, int, Iterator[tuple[str, str, int, int, str]]]]:
+        """Iterate ``(minute, true_count, packet stream)`` for one link.
+
+        The packet stream of each minute contains exactly ``true_count``
+        distinct flows with geometric per-flow packet counts; use it to drive
+        streaming sketches end-to-end (the ``streaming=True`` mode of the
+        Figure 5/6 experiments).
+        """
+        names = self.link_names()
+        if link_name not in names:
+            raise KeyError(f"unknown link {link_name!r}; available: {names}")
+        link_index = names.index(link_name)
+        counts = self.true_counts()[link_name]
+        for minute, true_count in enumerate(counts):
+            stream_seed = (
+                self.seed * 1_000_003 + link_index
+            ) * 100_000 + minute
+            yield minute, int(true_count), flows_for_interval(
+                int(true_count),
+                seed_or_rng=stream_seed,
+                mean_packets_per_flow=mean_packets_per_flow,
+                interval_id=minute,
+            )
+
+
+class BackboneSnapshotGenerator:
+    """Synthetic substitute for the Tier-1 backbone five-minute snapshot.
+
+    Generates one flow count per link from a clipped log-normal whose median
+    and spread are calibrated to the quantiles reported for Figure 7; links
+    with fewer than ``min_flows`` flows are excluded, mirroring the paper
+    ("about 10% of the links with no flows or flow counts less than 10 are
+    not considered").
+    """
+
+    #: Quantile levels and values reported in the paper for Figure 7.
+    PAPER_QUANTILE_LEVELS = (0.001, 0.25, 0.50, 0.75, 0.99)
+    PAPER_QUANTILE_VALUES = (18, 196, 2817, 19401, 361485)
+
+    def __init__(
+        self,
+        num_links: int = 600,
+        seed: int = 0,
+        median_flows: float = 2817.0,
+        log_sigma: float = 2.6,
+        min_flows: int = 10,
+        max_flows: int = 1_500_000,
+    ) -> None:
+        if num_links < 1:
+            raise ValueError(f"num_links must be positive, got {num_links}")
+        if median_flows <= 0 or log_sigma <= 0:
+            raise ValueError("median_flows and log_sigma must be positive")
+        if min_flows < 1 or max_flows <= min_flows:
+            raise ValueError("need 1 <= min_flows < max_flows")
+        self.num_links = num_links
+        self.seed = seed
+        self.median_flows = median_flows
+        self.log_sigma = log_sigma
+        self.min_flows = min_flows
+        self.max_flows = max_flows
+
+    def true_counts(self) -> np.ndarray:
+        """Flow counts of the retained links (those above ``min_flows``)."""
+        rng = as_rng(self.seed)
+        raw = rng.lognormal(
+            mean=np.log(self.median_flows), sigma=self.log_sigma, size=self.num_links
+        )
+        clipped = np.clip(np.round(raw), 1, self.max_flows).astype(np.int64)
+        return clipped[clipped >= self.min_flows]
+
+    def quantiles(self, levels: tuple[float, ...] | None = None) -> np.ndarray:
+        """Empirical quantiles of the generated snapshot (for Figure 7)."""
+        levels = levels if levels is not None else self.PAPER_QUANTILE_LEVELS
+        return np.quantile(self.true_counts(), levels)
+
+    def histogram_log2(self, num_bins: int = 30) -> tuple[np.ndarray, np.ndarray]:
+        """Histogram of log2 flow counts (the x-axis used by Figure 7)."""
+        counts = self.true_counts()
+        log2_counts = np.log2(counts)
+        return np.histogram(log2_counts, bins=num_bins)

@@ -1,0 +1,26 @@
+"""Shared fixtures for the test-suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.dimensioning import SBitmapDesign
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """Deterministic generator for statistical tests."""
+    return np.random.default_rng(20090401)
+
+
+@pytest.fixture
+def small_design() -> SBitmapDesign:
+    """A small S-bitmap design (fast to simulate, still non-trivial)."""
+    return SBitmapDesign.from_memory(num_bits=512, n_max=20_000)
+
+
+@pytest.fixture
+def paper_design_4000() -> SBitmapDesign:
+    """The m=4000, N=2^20 design used by Figure 2."""
+    return SBitmapDesign.from_memory(num_bits=4_000, n_max=2**20)

@@ -1,0 +1,87 @@
+"""Tests for the ablation experiments."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import ablations
+
+
+class TestTruncationAblation:
+    def test_truncation_never_hurts_near_boundary(self):
+        result = ablations.run_truncation_ablation(
+            memory_bits=1_000, n_max=50_000, replicates=300, seed=1
+        )
+        # At every sampled cardinality the truncated estimator is at least as
+        # good as the raw one (the paper: truncation removes one-sided bias).
+        for truncated, raw in zip(result.rrmse_truncated, result.rrmse_untruncated):
+            assert truncated <= raw + 1e-9
+
+    def test_effect_negligible_away_from_boundary(self):
+        result = ablations.run_truncation_ablation(
+            memory_bits=1_000, n_max=50_000, replicates=300, seed=2
+        )
+        # At n = 0.5 N the two estimators coincide almost exactly.
+        assert result.rrmse_truncated[0] == pytest.approx(
+            result.rrmse_untruncated[0], rel=0.05
+        )
+
+    def test_format(self):
+        result = ablations.run_truncation_ablation(replicates=50, seed=3)
+        assert "truncation" in ablations.format_truncation(result)
+
+
+class TestPathAgreementAblation:
+    def test_streaming_and_simulation_agree(self):
+        result = ablations.run_path_agreement_ablation(replicates=40, seed=4)
+        # Both paths must sit near the design error; with 40 replicates the
+        # Monte-Carlo noise on an RRMSE estimate is roughly +-25%.
+        assert result.rrmse_streaming == pytest.approx(result.theoretical, rel=0.5)
+        assert result.rrmse_simulated == pytest.approx(result.theoretical, rel=0.5)
+
+    def test_format(self):
+        result = ablations.run_path_agreement_ablation(replicates=20, seed=5)
+        assert "streaming" in ablations.format_path_agreement(result)
+
+
+class TestHashFamilyAblation:
+    def test_every_family_achieves_design_error(self):
+        result = ablations.run_hash_family_ablation(replicates=30, seed=6)
+        assert set(result.rrmse_by_family) == {"splitmix64", "murmur", "tabulation"}
+        for name, value in result.rrmse_by_family.items():
+            assert value < 3 * result.theoretical, name
+
+    def test_format(self):
+        result = ablations.run_hash_family_ablation(replicates=10, seed=7)
+        assert "hash family" in ablations.format_hash_families(result)
+
+
+class TestOperationCountAblation:
+    def test_every_sketch_hashes_once_per_item(self):
+        result = ablations.run_operation_count_ablation(
+            num_distinct=500, total_items=1_500, seed=1
+        )
+        expected = {"sbitmap", "hyperloglog", "loglog", "mr_bitmap", "linear_counting"}
+        assert set(result.hashes_per_item) == expected
+        for name, value in result.hashes_per_item.items():
+            # All implementations evaluate exactly one hash per processed item
+            # (Section 3's computational-cost argument).
+            assert value == pytest.approx(1.0, abs=0.01), name
+
+    def test_format(self):
+        result = ablations.run_operation_count_ablation(
+            num_distinct=100, total_items=200, seed=2
+        )
+        assert "hashes / item" in ablations.format_operation_counts(result)
+
+
+class TestMarkovExactAblation:
+    def test_exact_error_scale_invariant(self):
+        result = ablations.run_markov_exact_ablation(seed=8)
+        interior = result.exact_rrmse[1:-1]
+        for value in interior:
+            assert value == pytest.approx(result.theoretical, rel=0.25)
+
+    def test_format(self):
+        result = ablations.run_markov_exact_ablation(seed=9)
+        assert "Markov" in ablations.format_markov_exact(result)

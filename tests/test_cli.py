@@ -1,0 +1,97 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_count_defaults(self):
+        args = build_parser().parse_args(["count", "somefile.txt"])
+        assert args.algorithm == "sbitmap"
+        assert args.memory_bits == 8000
+
+    def test_dimension_requires_one_of_error_or_memory(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["dimension", "--n-max", "1000"])
+
+    def test_experiment_choices(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["experiment", "not-an-experiment"])
+
+
+class TestCountCommand:
+    def test_count_file(self, tmp_path, capsys):
+        path = tmp_path / "stream.txt"
+        lines = [f"user-{i % 500}" for i in range(3_000)]
+        path.write_text("\n".join(lines) + "\n")
+        exit_code = main(
+            [
+                "count",
+                str(path),
+                "--exact",
+                "--memory-bits",
+                "4000",
+                "--n-max",
+                "100000",
+            ]
+        )
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "estimate" in output
+        assert "exact" in output
+        assert "500" in output
+
+    def test_count_with_other_algorithm(self, tmp_path, capsys):
+        path = tmp_path / "stream.txt"
+        path.write_text("\n".join(f"k{i}" for i in range(200)) + "\n")
+        exit_code = main(["count", str(path), "--algorithm", "hyperloglog"])
+        assert exit_code == 0
+        assert "hyperloglog" in capsys.readouterr().out
+
+
+class TestDimensionCommand:
+    def test_dimension_from_error(self, capsys):
+        exit_code = main(["dimension", "--n-max", "1000000", "--error", "0.01"])
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        # Equation (7): ~31.5 kbits (the paper quotes "about 30 kilobits").
+        assert "31519" in output or "31520" in output
+
+    def test_dimension_from_memory(self, capsys):
+        exit_code = main(["dimension", "--n-max", "1048576", "--memory-bits", "4000"])
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "3.3" in output  # achieved RRMSE in percent
+
+
+class TestExperimentCommand:
+    def test_table2(self, capsys):
+        assert main(["experiment", "table2"]) == 0
+        assert "Table 2" in capsys.readouterr().out
+
+    def test_figure3(self, capsys):
+        assert main(["experiment", "figure3"]) == 0
+        assert "Figure 3" in capsys.readouterr().out
+
+    def test_figure7(self, capsys):
+        assert main(["experiment", "figure7", "--seed", "3"]) == 0
+        assert "Figure 7" in capsys.readouterr().out
+
+    def test_table3_with_replicates_override(self, capsys):
+        assert main(["experiment", "table3", "--replicates", "30"]) == 0
+        assert "Table 3" in capsys.readouterr().out
+
+
+class TestSketchesCommand:
+    def test_lists_builtins(self, capsys):
+        assert main(["sketches"]) == 0
+        output = capsys.readouterr().out
+        assert "sbitmap" in output
+        assert "hyperloglog" in output

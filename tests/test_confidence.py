@@ -1,0 +1,92 @@
+"""Tests for the S-bitmap confidence intervals."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.confidence import fill_time_interval, normal_interval
+from repro.core.dimensioning import SBitmapDesign
+from repro.core.estimator import SBitmapEstimator
+from repro.simulation import simulate_fill_counts
+
+
+@pytest.fixture
+def design() -> SBitmapDesign:
+    return SBitmapDesign.from_memory(1_024, 50_000)
+
+
+class TestNormalInterval:
+    def test_contains_point_estimate(self, design):
+        interval = normal_interval(design, fill_count=200)
+        assert interval.lower <= interval.estimate <= interval.upper
+
+    def test_zero_fill(self, design):
+        interval = normal_interval(design, fill_count=0)
+        assert interval.estimate == 0.0
+        assert interval.lower == 0.0
+
+    def test_width_grows_with_confidence(self, design):
+        narrow = normal_interval(design, 300, confidence=0.80)
+        wide = normal_interval(design, 300, confidence=0.99)
+        assert wide.width > narrow.width
+
+    def test_relative_width_matches_design_error(self, design):
+        interval = normal_interval(design, 400, confidence=0.95)
+        half_width_ratio = (interval.upper - interval.lower) / (2 * interval.estimate)
+        assert half_width_ratio == pytest.approx(1.96 * design.rrmse, rel=0.15)
+
+    def test_confidence_validation(self, design):
+        with pytest.raises(ValueError):
+            normal_interval(design, 10, confidence=1.0)
+
+    def test_as_dict(self, design):
+        payload = normal_interval(design, 10).as_dict()
+        assert payload["method"] == "normal"
+        assert payload["lower"] <= payload["upper"]
+
+
+class TestFillTimeInterval:
+    def test_contains_point_estimate(self, design):
+        interval = fill_time_interval(design, fill_count=200)
+        assert interval.lower <= interval.estimate <= interval.upper
+
+    def test_zero_fill_lower_bound_is_zero(self, design):
+        interval = fill_time_interval(design, fill_count=0)
+        assert interval.lower == 0.0
+        assert interval.upper > 0.0
+
+    def test_comparable_to_normal_interval(self, design):
+        fill = 300
+        normal = normal_interval(design, fill)
+        exact_style = fill_time_interval(design, fill)
+        assert exact_style.lower == pytest.approx(normal.lower, rel=0.15)
+        assert exact_style.upper == pytest.approx(normal.upper, rel=0.15)
+
+    def test_saturated_fill_upper_extends_past_n_max(self, design):
+        interval = fill_time_interval(design, design.max_fill)
+        assert interval.upper >= design.n_max
+
+    def test_confidence_validation(self, design):
+        with pytest.raises(ValueError):
+            fill_time_interval(design, 10, confidence=0.0)
+
+
+class TestCoverage:
+    @pytest.mark.parametrize("method", ["normal", "fill-time"])
+    def test_monte_carlo_coverage_near_nominal(self, design, rng, method):
+        # Simulate many sketch runs at a fixed truth and check the 95%
+        # interval covers the truth roughly 95% of the time (allow 88%+ to
+        # absorb Monte-Carlo noise and the normal approximation).
+        truth = 5_000
+        replicates = 300
+        fills = simulate_fill_counts(design, np.array([truth]), replicates, rng)[:, 0]
+        covered = 0
+        for fill in fills:
+            if method == "normal":
+                interval = normal_interval(design, int(fill), confidence=0.95)
+            else:
+                interval = fill_time_interval(design, int(fill), confidence=0.95)
+            if interval.contains(truth):
+                covered += 1
+        assert covered / replicates >= 0.88

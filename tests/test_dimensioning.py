@@ -1,0 +1,203 @@
+"""Unit tests for the S-bitmap dimensioning rule (Section 5)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.dimensioning import (
+    SBitmapDesign,
+    max_cardinality,
+    memory_approximation,
+    memory_for_error,
+    solve_precision_constant,
+)
+
+
+class TestSolvePrecisionConstant:
+    def test_paper_example_m30000(self):
+        # Paper, Section 5.1: N = 10^6 and m = 30000 gives C ~ 0.01^-2.
+        precision = solve_precision_constant(30_000, 10**6)
+        assert precision == pytest.approx(1e4, rel=0.06)
+
+    def test_paper_figure2_m4000(self):
+        # Section 6.1: m = 4000, N = 2^20 gives C = 915.6 (eps = 3.3%).
+        precision = solve_precision_constant(4_000, 2**20)
+        assert precision == pytest.approx(915.6, rel=0.01)
+
+    def test_paper_figure2_m1800(self):
+        # Section 6.1: m = 1800, N = 2^20 gives C = 373.7 (eps = 5.2%).
+        precision = solve_precision_constant(1_800, 2**20)
+        assert precision == pytest.approx(373.7, rel=0.01)
+
+    def test_paper_section7_m8000(self):
+        # Section 7.1: m = 8000, N = 10^6 gives C = 2026.55 (eps = 2.2%).
+        precision = solve_precision_constant(8_000, 10**6)
+        assert precision == pytest.approx(2026.55, rel=0.01)
+
+    def test_round_trip_with_equation7(self):
+        for num_bits, n_max in [(512, 10_000), (4_000, 2**20), (50_000, 10**7)]:
+            precision = solve_precision_constant(num_bits, n_max)
+            recovered_bits = memory_for_error(n_max, (precision - 1.0) ** -0.5)
+            assert recovered_bits == pytest.approx(num_bits, rel=1e-6)
+
+    def test_monotone_in_memory(self):
+        small = solve_precision_constant(1_000, 10**6)
+        large = solve_precision_constant(10_000, 10**6)
+        assert large > small
+
+    def test_monotone_in_range(self):
+        narrow = solve_precision_constant(4_000, 10**4)
+        wide = solve_precision_constant(4_000, 10**6)
+        assert narrow > wide
+
+    def test_too_small_memory_gives_useless_accuracy(self):
+        # 8 bits for a range of 10^9 is technically solvable but the implied
+        # error is enormous -- the dimensioning rule makes that visible.
+        precision = solve_precision_constant(8, 10**9)
+        assert (precision - 1.0) ** -0.5 > 0.5
+
+    def test_absurdly_small_memory_rejected(self):
+        with pytest.raises(ValueError):
+            solve_precision_constant(8, 10**300)
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            solve_precision_constant(4, 100)
+        with pytest.raises(ValueError):
+            solve_precision_constant(100, 0)
+
+
+class TestMemoryForError:
+    def test_paper_table2_cells(self):
+        # Spot-check two cells of Table 2 (values in units of 100 bits).
+        assert memory_for_error(10**3, 0.01) / 100 == pytest.approx(59.1, abs=0.2)
+        assert memory_for_error(10**6, 0.03) / 100 == pytest.approx(47.2, abs=0.2)
+
+    def test_approximation_close_to_exact(self):
+        for n_max in (10**4, 10**6):
+            for eps in (0.01, 0.05):
+                exact = memory_for_error(n_max, eps)
+                approx = memory_approximation(n_max, eps)
+                assert approx == pytest.approx(exact, rel=0.05)
+
+    def test_error_bounds_validated(self):
+        with pytest.raises(ValueError):
+            memory_for_error(1000, 0.0)
+        with pytest.raises(ValueError):
+            memory_for_error(1000, 1.5)
+        with pytest.raises(ValueError):
+            memory_for_error(0, 0.1)
+
+    def test_smaller_error_needs_more_memory(self):
+        assert memory_for_error(10**6, 0.01) > memory_for_error(10**6, 0.05)
+
+
+class TestMaxCardinality:
+    def test_inverse_of_equation7(self):
+        num_bits, n_max = 4_000, 2**20
+        precision = solve_precision_constant(num_bits, n_max)
+        assert max_cardinality(num_bits, precision) == pytest.approx(n_max, rel=1e-6)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            max_cardinality(100, 1.0)
+        with pytest.raises(ValueError):
+            max_cardinality(10, 100.0)
+
+
+class TestSBitmapDesign:
+    def test_from_memory_and_from_error_agree(self):
+        design_error = SBitmapDesign.from_error(10**5, 0.03)
+        design_memory = SBitmapDesign.from_memory(design_error.num_bits, 10**5)
+        assert design_memory.rrmse == pytest.approx(design_error.rrmse, rel=0.02)
+
+    def test_rrmse_formula(self, paper_design_4000):
+        assert paper_design_4000.rrmse == pytest.approx(
+            (paper_design_4000.precision - 1.0) ** -0.5
+        )
+        assert paper_design_4000.rrmse == pytest.approx(0.033, abs=0.001)
+
+    def test_ratio_formula(self, paper_design_4000):
+        expected = 1.0 - 2.0 / (paper_design_4000.precision + 1.0)
+        assert paper_design_4000.ratio == pytest.approx(expected)
+
+    def test_max_fill_below_num_bits(self, paper_design_4000):
+        assert 0 < paper_design_4000.max_fill <= paper_design_4000.num_bits
+        assert paper_design_4000.max_fill == int(
+            np.floor(paper_design_4000.num_bits - paper_design_4000.precision / 2.0)
+        )
+
+    def test_sampling_rates_monotone_nonincreasing(self, small_design):
+        rates = small_design.sampling_rates()[1:]
+        assert np.all(np.diff(rates) <= 1e-15)
+
+    def test_sampling_rates_in_unit_interval(self, small_design):
+        rates = small_design.sampling_rates()[1:]
+        assert np.all(rates > 0)
+        assert np.all(rates <= 1.0)
+
+    def test_fill_rates_match_formula(self, small_design):
+        q = small_design.fill_rates()
+        b = np.arange(1, small_design.max_fill + 1)
+        expected = (1.0 + 1.0 / small_design.precision) * small_design.ratio**b
+        np.testing.assert_allclose(q[1 : small_design.max_fill + 1], expected)
+
+    def test_fill_rates_relation_to_sampling_rates(self, small_design):
+        # q_b = (1 - (b-1)/m) p_b must hold on the untruncated region.
+        q = small_design.fill_rates()
+        p = small_design.sampling_rates()
+        b = np.arange(1, small_design.max_fill + 1)
+        occupancy = 1.0 - (b - 1.0) / small_design.num_bits
+        np.testing.assert_allclose(q[1 : small_design.max_fill + 1],
+                                   occupancy * p[1 : small_design.max_fill + 1],
+                                   rtol=1e-9)
+
+    def test_expected_fill_times_closed_form(self, small_design):
+        # t_b = (C/2)(r^-b - 1) on the untruncated region (Theorem 2).
+        t = small_design.expected_fill_times()
+        b = np.arange(0, small_design.max_fill + 1)
+        expected = small_design.precision / 2.0 * (small_design.ratio ** (-b) - 1.0)
+        np.testing.assert_allclose(t[: small_design.max_fill + 1], expected, rtol=1e-9)
+
+    def test_expected_fill_times_equal_inverse_rate_sums(self, small_design):
+        # t_b = sum_{k<=b} 1/q_k (Lemma 1).
+        t = small_design.expected_fill_times()
+        q = small_design.fill_rates()
+        partial = np.cumsum(1.0 / q[1 : small_design.max_fill + 1])
+        np.testing.assert_allclose(t[1 : small_design.max_fill + 1], partial, rtol=1e-9)
+
+    def test_fill_time_at_truncation_level_is_n_max(self, paper_design_4000):
+        # Equation (6): t_{m - C/2} = N (up to the integer floor of b_max).
+        t = paper_design_4000.expected_fill_times()
+        assert t[paper_design_4000.max_fill] == pytest.approx(
+            paper_design_4000.n_max, rel=0.01
+        )
+
+    def test_relative_fill_time_error_is_constant(self, small_design):
+        # Theorem 2: sqrt(var(T_b)) / E[T_b] = C^{-1/2} for every b.
+        q = small_design.fill_rates()[1 : small_design.max_fill + 1]
+        means = np.cumsum(1.0 / q)
+        variances = np.cumsum((1.0 - q) / q**2)
+        relative = np.sqrt(variances) / means
+        np.testing.assert_allclose(
+            relative, small_design.precision**-0.5, rtol=1e-6
+        )
+
+    def test_describe_keys(self, small_design):
+        description = small_design.describe()
+        assert set(description) == {
+            "num_bits",
+            "n_max",
+            "precision",
+            "rrmse",
+            "ratio",
+            "max_fill",
+        }
+
+    def test_invalid_precision_rejected(self):
+        with pytest.raises(ValueError):
+            SBitmapDesign(num_bits=100, n_max=1000, precision=0.5)
+
+    def test_memory_bits_property(self, small_design):
+        assert small_design.memory_bits == small_design.num_bits

@@ -1,0 +1,110 @@
+"""Unit tests for the S-bitmap estimator (Section 4.2, equation (8))."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.dimensioning import SBitmapDesign
+from repro.core.estimator import SBitmapEstimator
+
+
+@pytest.fixture
+def estimator(small_design) -> SBitmapEstimator:
+    return SBitmapEstimator(small_design)
+
+
+class TestEstimate:
+    def test_zero_fill_gives_zero(self, estimator):
+        assert estimator.estimate(0) == 0.0
+
+    def test_matches_closed_form(self, estimator, small_design):
+        for fill in (1, 5, 50, small_design.max_fill):
+            expected = (
+                small_design.precision / 2.0 * (small_design.ratio**-fill - 1.0)
+            )
+            assert estimator.estimate(fill) == pytest.approx(expected, rel=1e-9)
+
+    def test_monotone_in_fill_count(self, estimator, small_design):
+        values = [estimator.estimate(b) for b in range(small_design.max_fill + 1)]
+        assert all(b > a for a, b in zip(values, values[1:]))
+
+    def test_truncation_rule(self, estimator, small_design):
+        # Beyond b_max the estimate is pinned at t_{b_max} (equation (8)).
+        at_cap = estimator.estimate(small_design.max_fill)
+        beyond = estimator.estimate(small_design.num_bits)
+        assert beyond == at_cap
+
+    def test_estimate_at_cap_close_to_n_max(self, estimator, small_design):
+        assert estimator.estimate(small_design.max_fill) == pytest.approx(
+            small_design.n_max, rel=0.02
+        )
+
+    def test_negative_fill_rejected(self, estimator):
+        with pytest.raises(ValueError):
+            estimator.estimate(-1)
+
+    def test_fill_beyond_bitmap_rejected(self, estimator, small_design):
+        with pytest.raises(ValueError):
+            estimator.estimate(small_design.num_bits + 1)
+
+
+class TestEstimateMany:
+    def test_matches_scalar(self, estimator, small_design):
+        fills = np.array([0, 1, 10, small_design.max_fill, small_design.num_bits])
+        vectorised = estimator.estimate_many(fills)
+        scalar = np.array([estimator.estimate(int(b)) for b in fills])
+        np.testing.assert_allclose(vectorised, scalar)
+
+    def test_2d_input(self, estimator):
+        fills = np.array([[0, 1], [2, 3]])
+        result = estimator.estimate_many(fills)
+        assert result.shape == (2, 2)
+
+    def test_out_of_range_rejected(self, estimator, small_design):
+        with pytest.raises(ValueError):
+            estimator.estimate_many(np.array([-1]))
+        with pytest.raises(ValueError):
+            estimator.estimate_many(np.array([small_design.num_bits + 1]))
+
+
+class TestInverse:
+    def test_expected_fill_inverts_estimate(self, estimator, small_design):
+        for fill in (1, 10, 100, small_design.max_fill):
+            cardinality = estimator.estimate(fill)
+            assert estimator.expected_fill(cardinality) == pytest.approx(
+                fill, abs=1e-6
+            )
+
+    def test_expected_fill_zero(self, estimator):
+        assert estimator.expected_fill(0) == 0.0
+
+    def test_expected_fill_clipped_at_cap(self, estimator, small_design):
+        assert estimator.expected_fill(10 * small_design.n_max) == small_design.max_fill
+
+    def test_negative_cardinality_rejected(self, estimator):
+        with pytest.raises(ValueError):
+            estimator.expected_fill(-1)
+
+
+class TestMoments:
+    def test_fill_time_mean_matches_design(self, estimator, small_design):
+        t = small_design.expected_fill_times()
+        assert estimator.fill_time_mean(7) == pytest.approx(t[7])
+
+    def test_fill_time_variance_formula(self, estimator, small_design):
+        q = small_design.fill_rates()[1:6]
+        expected = float(np.sum((1.0 - q) / q**2))
+        assert estimator.fill_time_variance(5) == pytest.approx(expected)
+
+    def test_relative_fill_error_is_design_constant(self, estimator, small_design):
+        mean = estimator.fill_time_mean(small_design.max_fill)
+        std = estimator.fill_time_variance(small_design.max_fill) ** 0.5
+        assert std / mean == pytest.approx(small_design.precision**-0.5, rel=1e-6)
+
+    def test_theoretical_rrmse(self, estimator, small_design):
+        assert estimator.theoretical_rrmse() == small_design.rrmse
+
+    def test_fill_times_view_read_only(self, estimator):
+        with pytest.raises(ValueError):
+            estimator.fill_times[0] = 99.0

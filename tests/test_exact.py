@@ -1,0 +1,51 @@
+"""Unit tests for the exact (ground-truth) counter."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sketches.exact import ExactCounter
+from repro.streams.generators import duplicated_stream, zipf_stream
+
+
+class TestExactCounter:
+    def test_counts_distinct_exactly(self):
+        counter = ExactCounter()
+        counter.update(duplicated_stream(1_234, 5_000, seed_or_rng=1))
+        assert counter.estimate() == 1_234.0
+
+    def test_zipf_stream_exact(self):
+        counter = ExactCounter()
+        counter.update(zipf_stream(500, 10_000, seed_or_rng=2))
+        assert counter.estimate() == 500.0
+
+    def test_len_and_contains(self):
+        counter = ExactCounter()
+        counter.update(["a", "b", "a"])
+        assert len(counter) == 2
+        assert "a" in counter
+        assert "c" not in counter
+
+    def test_memory_grows_linearly(self):
+        counter = ExactCounter()
+        counter.update(str(i) for i in range(100))
+        assert counter.memory_bits() == 6_400
+
+    def test_merge_union(self):
+        left, right = ExactCounter(), ExactCounter()
+        left.update(["a", "b", "c"])
+        right.update(["c", "d"])
+        left.merge(right)
+        assert left.estimate() == 4.0
+
+    def test_merge_rejects_other_types(self):
+        from repro.sketches.linear_counting import LinearCounting
+
+        with pytest.raises(TypeError):
+            ExactCounter().merge(LinearCounting(16))
+
+    def test_int_and_string_keys_do_not_collide_accidentally(self):
+        counter = ExactCounter()
+        counter.add(1)
+        counter.add("1")
+        assert counter.estimate() == 2.0

@@ -1,0 +1,138 @@
+"""Unit tests for the replicated accuracy-sweep engine."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.experiment import (
+    SIMULATED_ALGORITHMS,
+    run_accuracy_sweep,
+    streaming_estimates,
+)
+
+
+class TestRunAccuracySweep:
+    def test_structure(self):
+        sweep = run_accuracy_sweep(
+            algorithms=("sbitmap", "hyperloglog"),
+            memory_bits=1_024,
+            n_max=50_000,
+            cardinalities=[100, 1_000],
+            replicates=50,
+            seed=1,
+        )
+        assert sweep.algorithms() == ["sbitmap", "hyperloglog"]
+        np.testing.assert_array_equal(sweep.cardinalities, [100, 1_000])
+        for algorithm in sweep.algorithms():
+            assert len(sweep.cells[algorithm]) == 2
+            assert sweep.rrmse(algorithm).shape == (2,)
+            assert sweep.l1(algorithm).shape == (2,)
+            assert sweep.q99(algorithm).shape == (2,)
+
+    def test_cardinalities_sorted_and_deduplicated(self):
+        sweep = run_accuracy_sweep(
+            algorithms=("sbitmap",),
+            memory_bits=512,
+            n_max=10_000,
+            cardinalities=[1_000, 10, 1_000],
+            replicates=20,
+            seed=2,
+        )
+        np.testing.assert_array_equal(sweep.cardinalities, [10, 1_000])
+
+    def test_reproducible_with_seed(self):
+        kwargs = dict(
+            algorithms=("sbitmap", "mr_bitmap"),
+            memory_bits=1_024,
+            n_max=20_000,
+            cardinalities=[500],
+            replicates=40,
+        )
+        a = run_accuracy_sweep(seed=7, **kwargs)
+        b = run_accuracy_sweep(seed=7, **kwargs)
+        for algorithm in a.algorithms():
+            np.testing.assert_allclose(a.rrmse(algorithm), b.rrmse(algorithm))
+
+    def test_seed_changes_results(self):
+        kwargs = dict(
+            algorithms=("sbitmap",),
+            memory_bits=1_024,
+            n_max=20_000,
+            cardinalities=[500],
+            replicates=40,
+        )
+        a = run_accuracy_sweep(seed=1, **kwargs)
+        b = run_accuracy_sweep(seed=2, **kwargs)
+        assert not np.allclose(a.rrmse("sbitmap"), b.rrmse("sbitmap"))
+
+    def test_all_simulated_algorithms_run(self):
+        sweep = run_accuracy_sweep(
+            algorithms=SIMULATED_ALGORITHMS,
+            memory_bits=2_048,
+            n_max=50_000,
+            cardinalities=[2_000],
+            replicates=30,
+            seed=3,
+        )
+        for algorithm in SIMULATED_ALGORITHMS:
+            assert sweep.rrmse(algorithm)[0] < 1.0
+
+    def test_sbitmap_error_matches_design(self):
+        sweep = run_accuracy_sweep(
+            algorithms=("sbitmap",),
+            memory_bits=4_000,
+            n_max=2**20,
+            cardinalities=[1_000, 100_000],
+            replicates=400,
+            seed=4,
+        )
+        rrmse = sweep.rrmse("sbitmap")
+        assert rrmse[0] == pytest.approx(0.033, rel=0.25)
+        assert rrmse[1] == pytest.approx(0.033, rel=0.25)
+
+    def test_stream_mode(self):
+        sweep = run_accuracy_sweep(
+            algorithms=("linear_counting",),
+            memory_bits=2_048,
+            n_max=5_000,
+            cardinalities=[300],
+            replicates=10,
+            seed=5,
+            mode="stream",
+        )
+        assert sweep.rrmse("linear_counting")[0] < 0.2
+
+    def test_unknown_algorithm_rejected_in_simulate_mode(self):
+        with pytest.raises(ValueError):
+            run_accuracy_sweep(
+                algorithms=("kmv",),
+                memory_bits=1_024,
+                n_max=10_000,
+                cardinalities=[100],
+                replicates=5,
+                seed=6,
+            )
+
+    def test_invalid_mode(self):
+        with pytest.raises(ValueError):
+            run_accuracy_sweep(("sbitmap",), 1_024, 10_000, [10], mode="nope")
+
+    def test_invalid_cardinalities(self):
+        with pytest.raises(ValueError):
+            run_accuracy_sweep(("sbitmap",), 1_024, 10_000, [])
+        with pytest.raises(ValueError):
+            run_accuracy_sweep(("sbitmap",), 1_024, 10_000, [0])
+
+
+class TestStreamingEstimates:
+    def test_shape_and_accuracy(self):
+        estimates = streaming_estimates(
+            "hyperloglog", 2_048, 50_000, cardinality=1_000, replicates=8, seed=1
+        )
+        assert estimates.shape == (8,)
+        assert abs(float(np.mean(estimates)) / 1_000 - 1.0) < 0.15
+
+    def test_replicates_validated(self):
+        with pytest.raises(ValueError):
+            streaming_estimates("sbitmap", 512, 1_000, 100, replicates=0)

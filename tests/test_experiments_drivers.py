@@ -1,0 +1,245 @@
+"""Tests for the table/figure experiment drivers (small-scale runs).
+
+Each driver is run with reduced replicate counts / grids so the whole module
+stays fast, and the assertions check the *qualitative findings* of the paper
+(scale-invariance, algorithm ordering, boundary behaviour) rather than exact
+numbers -- exactly the reproduction criteria recorded in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.experiments import (
+    figure2,
+    figure3,
+    figure4,
+    figure5,
+    figure6,
+    figure7,
+    figure8,
+    table2,
+    table3,
+    table4,
+)
+
+
+class TestFigure2:
+    def test_scale_invariance(self):
+        result = figure2.run(
+            memory_sizes=(4_000,),
+            cardinalities=np.array([64, 4_096, 262_144]),
+            replicates=300,
+            seed=1,
+        )
+        empirical = result.empirical_rrmse[4_000]
+        theory = result.theoretical_rrmse[4_000]
+        assert theory == pytest.approx(0.033, abs=0.001)
+        np.testing.assert_allclose(empirical, theory, rtol=0.25)
+
+    def test_both_paper_designs(self):
+        result = figure2.run(
+            cardinalities=np.array([1_024, 65_536]), replicates=150, seed=2
+        )
+        assert result.theoretical_rrmse[4_000] < result.theoretical_rrmse[1_800]
+        assert result.max_deviation(4_000) < 0.02
+        assert result.max_deviation(1_800) < 0.03
+
+    def test_default_cardinalities_are_powers_of_two(self):
+        grid = figure2.default_cardinalities()
+        assert grid[0] == 4
+        assert grid[-1] == 2**20
+        assert np.all(np.log2(grid) % 1 == 0)
+
+    def test_format(self):
+        result = figure2.run(
+            memory_sizes=(1_800,), cardinalities=np.array([256]), replicates=50
+        )
+        text = figure2.format_result(result)
+        assert "Figure 2" in text
+        assert "1800" in text
+
+
+class TestTable2:
+    def test_matches_paper_within_rounding(self):
+        result = table2.run()
+        for (n_max, eps), (paper_hll, paper_sbitmap) in table2.PAPER_VALUES.items():
+            row = result.row(n_max, eps)
+            assert row.hyperloglog_hundred_bits == pytest.approx(paper_hll, rel=0.02), (
+                n_max,
+                eps,
+            )
+            assert row.sbitmap_hundred_bits == pytest.approx(paper_sbitmap, rel=0.03), (
+                n_max,
+                eps,
+            )
+
+    def test_missing_row_lookup(self):
+        with pytest.raises(KeyError):
+            table2.run().row(12345, 0.5)
+
+    def test_format(self):
+        text = table2.format_result(table2.run())
+        assert "Table 2" in text
+        assert "S-bitmap" in text
+
+
+class TestFigure3:
+    def test_ratio_signs(self):
+        result = figure3.run()
+        # Small error, moderate N: S-bitmap wins (ratio > 1).
+        assert result.ratio_at(10**4, 0.01) > 1.5
+        # Large error, huge N: HLL wins (ratio < 1).
+        assert result.ratio_at(10**7, 0.5) < 1.0
+
+    def test_crossover_matches_theory(self):
+        from repro.core import theory
+
+        result = figure3.run()
+        for n_max, eps_star in zip(result.n_values, result.crossover):
+            assert eps_star == pytest.approx(theory.crossover_error(int(n_max)))
+
+    def test_format(self):
+        assert "Figure 3" in figure3.format_result(figure3.run())
+
+
+class TestFigure4:
+    def test_sbitmap_flat_and_best_at_large_n(self):
+        result = figure4.run(
+            memory_sizes=(3_200,),
+            cardinalities=np.array([1_000, 100_000, 1_000_000]),
+            replicates=120,
+            seed=3,
+        )
+        sweep = result.sweeps[3_200]
+        sbitmap = sweep.rrmse("sbitmap")
+        hll = sweep.rrmse("hyperloglog")
+        llog = sweep.rrmse("loglog")
+        # Scale-invariance: spread of the S-bitmap series is small.
+        assert sbitmap.max() / sbitmap.min() < 1.6
+        # Paper: at m=3200 S-bitmap beats the competitors for n > ~1000.
+        assert sbitmap[1] < hll[1]
+        assert sbitmap[2] < hll[2]
+        assert sbitmap[2] < llog[2]
+
+    def test_loglog_worse_than_hyperloglog(self):
+        result = figure4.run(
+            memory_sizes=(40_000,),
+            cardinalities=np.array([200_000]),
+            replicates=100,
+            seed=4,
+        )
+        sweep = result.sweeps[40_000]
+        assert sweep.rrmse("loglog")[0] > sweep.rrmse("hyperloglog")[0]
+
+    def test_format(self):
+        result = figure4.run(
+            memory_sizes=(800,),
+            cardinalities=np.array([10_000]),
+            replicates=40,
+            seed=5,
+        )
+        text = figure4.format_result(result)
+        assert "m = 800 bits" in text
+
+
+class TestTables3And4:
+    def test_table3_sbitmap_flat_and_competitors_drift(self):
+        result = table3.run(replicates=200, seed=6)
+        sweep = result.sweep
+        sbitmap_l2 = sweep.rrmse("sbitmap")
+        # Scale-invariance of the L2 metric away from the boundary cell.
+        interior = sbitmap_l2[:-1]
+        assert interior.max() / interior.min() < 1.8
+        # HyperLogLog's error at the top of the range exceeds S-bitmap's
+        # (Table 3: 4.4 vs 2.6 at n = 10000).
+        hll_l2 = sweep.rrmse("hyperloglog")
+        assert hll_l2[-1] > sbitmap_l2[-1]
+
+    def test_table3_design_error_matches_paper(self):
+        # m = 2700, N = 10^4 gives a design RRMSE of ~2.6% (the paper's S
+        # column sits at 2.6 across the sweep).
+        from repro.core.dimensioning import solve_precision_constant
+
+        precision = solve_precision_constant(2_700, 10_000)
+        assert (precision - 1.0) ** -0.5 == pytest.approx(0.026, abs=0.004)
+
+    def test_table4_sbitmap_beats_hll_at_top_of_range(self):
+        result = table4.run(
+            cardinalities=(100_000, 1_000_000), replicates=150, seed=7
+        )
+        sweep = result.sweep
+        assert sweep.rrmse("sbitmap")[-1] < sweep.rrmse("hyperloglog")[-1]
+
+    def test_table4_design_error_matches_paper(self):
+        from repro.core.dimensioning import solve_precision_constant
+
+        precision = solve_precision_constant(6_720, 10**6)
+        assert (precision - 1.0) ** -0.5 == pytest.approx(0.024, abs=0.004)
+
+    def test_formats(self):
+        text3 = table3.format_result(table3.run(replicates=30, seed=8))
+        assert "Table 3" in text3 and "q99" in text3
+        text4 = table4.format_result(
+            table4.run(cardinalities=(1_000,), replicates=30, seed=9)
+        )
+        assert "Table 4" in text4
+
+
+class TestTraceExperiments:
+    def test_figure5_errors_within_design_band(self):
+        result = figure5.run(num_minutes=80, seed=10)
+        assert result.design_rrmse == pytest.approx(0.022, abs=0.003)
+        for link in result.truth:
+            assert result.rrmse(link) < 3 * result.design_rrmse
+
+    def test_figure5_format(self):
+        result = figure5.run(num_minutes=40, seed=11)
+        text = figure5.format_result(result)
+        assert "Figure 5" in text
+        assert "link0" in text or "link1" in text
+
+    def test_figure6_sbitmap_most_resistant(self):
+        result = figure6.run(num_minutes=150, seed=12)
+        threshold = 3 * result.design_rrmse
+        for link in result.proportions:
+            sbitmap_tail = result.proportion_at(link, "sbitmap", threshold)
+            # Paper: essentially no S-bitmap estimate exceeds 3 sigma.
+            assert sbitmap_tail <= 0.02
+            # And at least one competitor has a heavier tail at the same point.
+            competitor_tails = [
+                result.proportion_at(link, name, threshold)
+                for name in result.proportions[link]
+                if name != "sbitmap"
+            ]
+            assert max(competitor_tails) >= sbitmap_tail
+
+    def test_figure7_spans_paper_quantile_range(self):
+        result = figure7.run(seed=13)
+        assert result.num_links > 400
+        assert result.quantiles[0] < 100
+        assert result.quantiles[-1] > 50_000
+        assert result.histogram_counts.sum() == result.num_links
+
+    def test_figure8_sbitmap_and_hll_accurate(self):
+        result = figure8.run(num_links=300, seed=14)
+        # Paper: S-bitmap and HLL errors bounded by ~8%, LogLog much worse.
+        assert result.links_exceeding("sbitmap", 0.10) == 0
+        assert result.links_exceeding("hyperloglog", 0.10) <= 2
+        assert result.links_exceeding("loglog", 0.08) > result.links_exceeding(
+            "sbitmap", 0.08
+        )
+
+    def test_figure8_exceedance_counts_monotone(self):
+        result = figure8.run(num_links=200, seed=15)
+        for algorithm in result.errors:
+            counts = result.exceedance_counts(algorithm)
+            assert np.all(np.diff(counts) <= 0)
+
+    def test_trace_formats(self):
+        assert "Figure 6" in figure6.format_result(figure6.run(num_minutes=30, seed=16))
+        assert "Figure 7" in figure7.format_result(figure7.run(seed=17))
+        assert "Figure 8" in figure8.format_result(
+            figure8.run(num_links=100, seed=18)
+        )

@@ -1,0 +1,128 @@
+"""Tests for result export (CSV/JSON) and stream file I/O."""
+
+from __future__ import annotations
+
+import csv
+import json
+
+import pytest
+
+from repro.analysis.experiment import run_accuracy_sweep
+from repro.analysis.export import (
+    memory_comparisons_to_rows,
+    sweep_to_rows,
+    write_memory_csv,
+    write_sweep_csv,
+    write_sweep_json,
+)
+from repro.analysis.memory import memory_table
+from repro.streams.file_io import (
+    FLOW_CSV_COLUMNS,
+    read_csv_keys,
+    read_lines,
+    write_flow_csv,
+    write_lines,
+)
+from repro.streams.network import SlammerTraceGenerator
+
+
+@pytest.fixture(scope="module")
+def small_sweep():
+    return run_accuracy_sweep(
+        algorithms=("sbitmap", "hyperloglog"),
+        memory_bits=1_024,
+        n_max=20_000,
+        cardinalities=[100, 1_000],
+        replicates=30,
+        seed=1,
+    )
+
+
+class TestSweepExport:
+    def test_rows_cover_every_cell(self, small_sweep):
+        rows = sweep_to_rows(small_sweep)
+        assert len(rows) == 2 * 2
+        assert {row["algorithm"] for row in rows} == {"sbitmap", "hyperloglog"}
+        assert all(row["memory_bits"] == 1_024 for row in rows)
+
+    def test_csv_round_trip(self, small_sweep, tmp_path):
+        path = write_sweep_csv(small_sweep, tmp_path / "sweep.csv")
+        with path.open() as handle:
+            rows = list(csv.DictReader(handle))
+        assert len(rows) == 4
+        assert float(rows[0]["l2"]) >= 0.0
+
+    def test_json_round_trip(self, small_sweep, tmp_path):
+        path = write_sweep_json(small_sweep, tmp_path / "sweep.json")
+        payload = json.loads(path.read_text())
+        assert payload["memory_bits"] == 1_024
+        assert len(payload["cells"]) == 4
+
+
+class TestMemoryExport:
+    def test_rows(self):
+        comparisons = memory_table([10**4, 10**6], [0.01, 0.09])
+        rows = memory_comparisons_to_rows(comparisons)
+        assert len(rows) == 4
+        assert all("hll_to_sbitmap_ratio" in row for row in rows)
+
+    def test_csv(self, tmp_path):
+        comparisons = memory_table([10**4], [0.03])
+        path = write_memory_csv(comparisons, tmp_path / "memory.csv")
+        with path.open() as handle:
+            rows = list(csv.DictReader(handle))
+        assert len(rows) == 1
+        assert float(rows[0]["sbitmap"]) > 0
+
+
+class TestLineIO:
+    def test_write_then_read(self, tmp_path):
+        path = write_lines(["a", "b", 3], tmp_path / "items.txt")
+        assert list(read_lines(path)) == ["a", "b", "3"]
+
+    def test_empty_file(self, tmp_path):
+        path = write_lines([], tmp_path / "empty.txt")
+        assert list(read_lines(path)) == []
+
+
+class TestFlowCsv:
+    def test_write_and_count_flows(self, tmp_path):
+        trace = SlammerTraceGenerator(
+            num_minutes=2,
+            seed=3,
+            links=(
+                __import__(
+                    "repro.streams.network", fromlist=["LinkModel"]
+                ).LinkModel(name="mini", base_log2=7.0, burst_probability=0.0),
+            ),
+        )
+        path = write_flow_csv(tmp_path / "flows.csv", trace=trace, link="mini")
+        keys = list(read_csv_keys(path, key_columns=FLOW_CSV_COLUMNS[1:]))
+        # Distinct flow keys across the file match the trace's ground truth.
+        truth = sum(int(c) for c in trace.true_counts()["mini"])
+        assert len(set(keys)) == pytest.approx(truth, rel=0.05)
+
+    def test_read_csv_keys_subset_of_columns(self, tmp_path):
+        path = tmp_path / "data.csv"
+        path.write_text("a,b,c\n1,2,3\n1,2,4\n")
+        keys = list(read_csv_keys(path, key_columns=("a", "b")))
+        assert keys == [("1", "2"), ("1", "2")]
+        assert len(set(keys)) == 1
+
+    def test_read_csv_keys_missing_column(self, tmp_path):
+        path = tmp_path / "data.csv"
+        path.write_text("a,b\n1,2\n")
+        with pytest.raises(KeyError):
+            list(read_csv_keys(path, key_columns=("a", "nope")))
+
+    def test_read_csv_keys_requires_columns(self, tmp_path):
+        path = tmp_path / "data.csv"
+        path.write_text("a\n1\n")
+        with pytest.raises(ValueError):
+            list(read_csv_keys(path, key_columns=()))
+
+    def test_default_trace_written(self, tmp_path):
+        path = write_flow_csv(tmp_path / "default.csv", max_minutes=1)
+        with path.open() as handle:
+            header = handle.readline().strip().split(",")
+        assert header == list(FLOW_CSV_COLUMNS)

@@ -1,0 +1,87 @@
+"""Unit tests for the Flajolet--Martin / PCSA sketch."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.sketches.fm import FM_PHI, FlajoletMartin
+from repro.streams.generators import distinct_stream, duplicated_stream
+
+
+class TestConstruction:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FlajoletMartin(0)
+        with pytest.raises(ValueError):
+            FlajoletMartin(8, vector_bits=0)
+        with pytest.raises(ValueError):
+            FlajoletMartin(8, vector_bits=65)
+
+    def test_from_memory(self):
+        sketch = FlajoletMartin.from_memory(3_200, n_max=10**6)
+        assert sketch.memory_bits() <= 3_200
+        assert sketch.vector_bits >= np.log2(10**6)
+
+    def test_memory_bits(self):
+        assert FlajoletMartin(10, vector_bits=32).memory_bits() == 320
+
+
+class TestBehaviour:
+    def test_empty_estimate_small(self):
+        sketch = FlajoletMartin(64)
+        assert sketch.estimate() == pytest.approx(64 / FM_PHI)
+
+    def test_duplicates_ignored(self):
+        sketch = FlajoletMartin(64, seed=1)
+        sketch.update(["a", "b", "c"])
+        vectors = sketch.vectors.copy()
+        sketch.update(["a", "b", "c"] * 50)
+        np.testing.assert_array_equal(sketch.vectors, vectors)
+
+    def test_bits_monotone(self):
+        sketch = FlajoletMartin(32, seed=2)
+        sketch.update(distinct_stream(100))
+        before = sketch.vectors.copy()
+        sketch.update(distinct_stream(100, start=100))
+        assert np.all(sketch.vectors >= before)
+
+    def test_accuracy_moderate(self):
+        sketch = FlajoletMartin(256, seed=3)
+        truth = 50_000
+        sketch.update(distinct_stream(truth))
+        # FM's asymptotic error with 256 groups is ~5%; allow a wide margin.
+        assert abs(sketch.estimate() / truth - 1.0) < 0.3
+
+    def test_accuracy_with_duplication(self):
+        sketch = FlajoletMartin(128, seed=4)
+        truth = 5_000
+        sketch.update(duplicated_stream(truth, 25_000, seed_or_rng=5))
+        assert abs(sketch.estimate() / truth - 1.0) < 0.4
+
+    def test_estimate_grows_with_cardinality(self):
+        sketch = FlajoletMartin(128, seed=6)
+        sketch.update(distinct_stream(1_000))
+        small = sketch.estimate()
+        sketch.update(distinct_stream(100_000, start=1_000))
+        assert sketch.estimate() > 10 * small
+
+    def test_merge_union(self):
+        a = FlajoletMartin(64, seed=7)
+        b = FlajoletMartin(64, seed=7)
+        union = FlajoletMartin(64, seed=7)
+        a.update(distinct_stream(2_000))
+        b.update(distinct_stream(2_000, start=1_500))
+        union.update(distinct_stream(3_500))
+        a.merge(b)
+        np.testing.assert_array_equal(a.vectors, union.vectors)
+        assert a.estimate() == union.estimate()
+
+    def test_merge_rejects_mismatch(self):
+        with pytest.raises(ValueError):
+            FlajoletMartin(64).merge(FlajoletMartin(32))
+
+    def test_vectors_read_only(self):
+        sketch = FlajoletMartin(8)
+        with pytest.raises(ValueError):
+            sketch.vectors[0, 0] = True

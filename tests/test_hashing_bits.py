@@ -1,0 +1,104 @@
+"""Unit tests for repro.hashing.bits."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.hashing.bits import bit_field, high_bits, low_bits, reverse_bits64, rho
+
+
+class TestHighLowBits:
+    def test_high_bits_basic(self):
+        # 0b1010 in a 4-bit word: top two bits are 0b10.
+        assert high_bits(0b1010, 2, width=4) == 0b10
+
+    def test_low_bits_basic(self):
+        assert low_bits(0b1010, 2) == 0b10
+
+    def test_zero_count(self):
+        assert high_bits(0xFFFF, 0, width=16) == 0
+        assert low_bits(0xFFFF, 0) == 0
+
+    def test_full_width(self):
+        assert high_bits(0xABCD, 16, width=16) == 0xABCD
+        assert low_bits(0xABCD, 16) == 0xABCD
+
+    def test_high_bits_out_of_range(self):
+        with pytest.raises(ValueError):
+            high_bits(1, 65)
+
+    def test_low_bits_out_of_range(self):
+        with pytest.raises(ValueError):
+            low_bits(1, 65)
+
+    def test_width_validation(self):
+        with pytest.raises(ValueError):
+            high_bits(1, 1, width=0)
+
+
+class TestBitField:
+    def test_msb_first_semantics(self):
+        # value = 0b1101_0110 (8 bits); bits at positions 0..1 are '11'.
+        value = 0b11010110
+        assert bit_field(value, 0, 2, width=8) == 0b11
+        assert bit_field(value, 2, 3, width=8) == 0b010
+        assert bit_field(value, 5, 3, width=8) == 0b110
+
+    def test_matches_paper_split(self):
+        # Algorithm 2: first c bits are the bucket, next d bits the sample.
+        value = (0b101 << 61) | 12345
+        assert bit_field(value, 0, 3, width=64) == 0b101
+        assert bit_field(value, 3, 61, width=64) == 12345
+
+    def test_zero_count(self):
+        assert bit_field(0xFFFFFFFF, 4, 0, width=32) == 0
+
+    def test_range_check(self):
+        with pytest.raises(ValueError):
+            bit_field(1, 60, 10, width=64)
+
+
+class TestRho:
+    def test_all_zero_value(self):
+        assert rho(0, width=8) == 9
+
+    def test_leading_one(self):
+        assert rho(1 << 63, width=64) == 1
+
+    def test_second_position(self):
+        assert rho(1 << 62, width=64) == 2
+
+    def test_small_width(self):
+        assert rho(0b0001, width=4) == 4
+
+    def test_known_values_32(self):
+        assert rho(0x80000000, width=32) == 1
+        assert rho(0x00000001, width=32) == 32
+
+    def test_geometric_distribution(self):
+        # Under uniform 16-bit values, P(rho = k) = 2^-k; check the first two
+        # frequencies over the full (exhaustive) domain.
+        width = 16
+        counts = {}
+        for value in range(2**width):
+            k = rho(value, width)
+            counts[k] = counts.get(k, 0) + 1
+        assert counts[1] == 2 ** (width - 1)
+        assert counts[2] == 2 ** (width - 2)
+        assert counts[width + 1] == 1  # the all-zero value
+
+    def test_invalid_width(self):
+        with pytest.raises(ValueError):
+            rho(1, width=65)
+
+
+class TestReverseBits:
+    def test_involution(self):
+        for value in (0, 1, 0xDEADBEEF, (1 << 63) | 1):
+            assert reverse_bits64(reverse_bits64(value)) == value
+
+    def test_known_value(self):
+        assert reverse_bits64(1) == 1 << 63
+
+    def test_all_ones(self):
+        assert reverse_bits64((1 << 64) - 1) == (1 << 64) - 1

@@ -1,0 +1,105 @@
+"""Unit tests for repro.hashing.family (the HashFamily abstraction)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.hashing.family import MixerHashFamily, TabulationHashFamily
+
+FAMILIES = [
+    lambda seed: MixerHashFamily(seed),
+    lambda seed: MixerHashFamily(seed, mixer="murmur"),
+    lambda seed: TabulationHashFamily(seed),
+]
+
+
+@pytest.mark.parametrize("make_family", FAMILIES)
+class TestHashFamilyContract:
+    def test_deterministic_per_seed(self, make_family):
+        a, b = make_family(5), make_family(5)
+        assert a.hash64("x") == b.hash64("x")
+
+    def test_seed_changes_output(self, make_family):
+        a, b = make_family(5), make_family(6)
+        outputs_a = [a.hash64(i) for i in range(20)]
+        outputs_b = [b.hash64(i) for i in range(20)]
+        assert outputs_a != outputs_b
+
+    def test_hash64_range(self, make_family):
+        family = make_family(1)
+        for item in ["a", 7, (1, "b"), b"c"]:
+            assert 0 <= family.hash64(item) < 2**64
+
+    def test_bucket_range(self, make_family):
+        family = make_family(2)
+        for item in range(200):
+            assert 0 <= family.bucket(item, 13) < 13
+
+    def test_bucket_rejects_nonpositive(self, make_family):
+        with pytest.raises(ValueError):
+            make_family(0).bucket("x", 0)
+
+    def test_fraction_in_unit_interval(self, make_family):
+        family = make_family(3)
+        fractions = [family.fraction(i) for i in range(500)]
+        assert all(0.0 <= f < 1.0 for f in fractions)
+        assert 0.4 < float(np.mean(fractions)) < 0.6
+
+    def test_bits_split_widths(self, make_family):
+        family = make_family(4)
+        bucket, sample = family.bits("item", bucket_bits=10, sample_bits=20)
+        assert 0 <= bucket < 2**10
+        assert 0 <= sample < 2**20
+
+    def test_bits_split_too_wide(self, make_family):
+        with pytest.raises(ValueError):
+            make_family(4).bits("item", bucket_bits=40, sample_bits=40)
+
+    def test_geometric_positive(self, make_family):
+        family = make_family(5)
+        values = [family.geometric(i) for i in range(1000)]
+        assert min(values) >= 1
+        # Mean of Geometric(1/2) is 2; allow wide tolerance.
+        assert 1.7 < float(np.mean(values)) < 2.3
+
+    def test_spawn_gives_independent_function(self, make_family):
+        family = make_family(6)
+        child = family.spawn(0)
+        outputs_parent = [family.hash64(i) for i in range(20)]
+        outputs_child = [child.hash64(i) for i in range(20)]
+        assert outputs_parent != outputs_child
+
+    def test_spawn_deterministic(self, make_family):
+        a = make_family(6).spawn(3)
+        b = make_family(6).spawn(3)
+        assert a.hash64("z") == b.hash64("z")
+
+
+class TestMixerSpecifics:
+    def test_unknown_mixer_rejected(self):
+        with pytest.raises(ValueError):
+            MixerHashFamily(0, mixer="nope")
+
+    def test_bucket_uniformity(self):
+        family = MixerHashFamily(9)
+        buckets = 32
+        counts = np.zeros(buckets)
+        samples = 32_000
+        for index in range(samples):
+            counts[family.bucket(f"key{index}", buckets)] += 1
+        expected = samples / buckets
+        chi_square = float(np.sum((counts - expected) ** 2 / expected))
+        # 31 dof; 70 is beyond the 99.99% quantile.
+        assert chi_square < 70.0
+
+
+class TestTabulationSpecifics:
+    def test_tables_cover_full_key(self):
+        # Changing any single byte of the key must change the hash.
+        family = TabulationHashFamily(1)
+        base_key = 0
+        base_hash = family.hash64(base_key)
+        for byte_index in range(8):
+            modified = base_key | (0xAB << (8 * byte_index))
+            assert family.hash64(modified) != base_hash

@@ -1,0 +1,111 @@
+"""Unit tests for repro.hashing.mixers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.hashing.mixers import (
+    MASK64,
+    key_to_int,
+    murmur_finalize,
+    splitmix64,
+    splitmix64_stream,
+)
+
+
+class TestSplitmix64:
+    def test_output_is_64_bits(self):
+        for value in (0, 1, 2**63, MASK64, 123456789):
+            assert 0 <= splitmix64(value) <= MASK64
+
+    def test_deterministic(self):
+        assert splitmix64(42) == splitmix64(42)
+
+    def test_distinct_inputs_distinct_outputs(self):
+        # splitmix64 is a bijection on 64-bit integers.
+        outputs = {splitmix64(value) for value in range(1000)}
+        assert len(outputs) == 1000
+
+    def test_changes_input(self):
+        assert splitmix64(0) != 0
+        assert splitmix64(1) != 1
+
+    def test_avalanche_flips_many_bits(self):
+        # Flipping one input bit should flip roughly half the output bits.
+        a = splitmix64(0x1234)
+        b = splitmix64(0x1235)
+        differing = bin(a ^ b).count("1")
+        assert 16 <= differing <= 48
+
+
+class TestMurmurFinalize:
+    def test_output_is_64_bits(self):
+        for value in (0, 1, 2**40, MASK64):
+            assert 0 <= murmur_finalize(value) <= MASK64
+
+    def test_differs_from_splitmix(self):
+        assert murmur_finalize(42) != splitmix64(42)
+
+    def test_deterministic(self):
+        assert murmur_finalize(99) == murmur_finalize(99)
+
+
+class TestSplitmix64Stream:
+    def test_length(self):
+        assert len(splitmix64_stream(7, 10)) == 10
+
+    def test_empty(self):
+        assert splitmix64_stream(7, 0) == []
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            splitmix64_stream(7, -1)
+
+    def test_reproducible(self):
+        assert splitmix64_stream(3, 5) == splitmix64_stream(3, 5)
+
+    def test_seed_matters(self):
+        assert splitmix64_stream(3, 5) != splitmix64_stream(4, 5)
+
+    def test_values_distinct(self):
+        values = splitmix64_stream(11, 1000)
+        assert len(set(values)) == 1000
+
+
+class TestKeyToInt:
+    def test_int_maps_to_itself(self):
+        assert key_to_int(12345) == 12345
+
+    def test_large_int_wraps_to_64_bits(self):
+        assert key_to_int(2**64 + 5) == 5
+
+    def test_string_deterministic(self):
+        assert key_to_int("flow-1") == key_to_int("flow-1")
+
+    def test_different_strings_differ(self):
+        assert key_to_int("flow-1") != key_to_int("flow-2")
+
+    def test_bytes_and_str_can_differ_from_int(self):
+        assert key_to_int(b"1") != key_to_int(1)
+
+    def test_bool_distinct_from_int(self):
+        assert key_to_int(True) != key_to_int(1)
+        assert key_to_int(False) != key_to_int(0)
+
+    def test_tuple_order_matters(self):
+        assert key_to_int(("a", "b")) != key_to_int(("b", "a"))
+
+    def test_tuple_of_flow_fields(self):
+        key = ("10.0.0.1", "10.0.0.2", 1234, 80, "tcp")
+        assert key_to_int(key) == key_to_int(key)
+
+    def test_float_keys(self):
+        assert key_to_int(1.5) == key_to_int(1.5)
+        assert key_to_int(1.5) != key_to_int(2.5)
+
+    def test_fallback_repr(self):
+        assert key_to_int(frozenset({1})) == key_to_int(frozenset({1}))
+
+    def test_output_always_in_range(self):
+        for item in (0, -1 % 2**64, "x", b"y", ("a", 1), 3.14, None):
+            assert 0 <= key_to_int(item) <= MASK64

@@ -1,0 +1,79 @@
+"""Unit tests for repro.hashing.universal (Carter--Wegman family)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.hashing.universal import CarterWegmanHash, DEFAULT_PRIME, is_prime, next_prime
+
+
+class TestPrimality:
+    @pytest.mark.parametrize("prime", [2, 3, 5, 7, 11, 101, 7919, 2**31 - 1])
+    def test_known_primes(self, prime):
+        assert is_prime(prime)
+
+    @pytest.mark.parametrize("composite", [0, 1, 4, 9, 100, 7917, 2**31 - 3])
+    def test_known_composites(self, composite):
+        assert not is_prime(composite)
+
+    def test_default_prime_is_prime(self):
+        assert is_prime(DEFAULT_PRIME)
+
+    def test_next_prime(self):
+        assert next_prime(10) == 11
+        assert next_prime(11) == 13
+        assert next_prime(1) == 2
+        assert next_prime(0) == 2
+
+    def test_next_prime_is_prime_and_larger(self):
+        for value in (100, 1000, 65536):
+            result = next_prime(value)
+            assert result > value
+            assert is_prime(result)
+
+
+class TestCarterWegman:
+    def test_from_seed_deterministic(self):
+        a = CarterWegmanHash.from_seed(7, range_size=100)
+        b = CarterWegmanHash.from_seed(7, range_size=100)
+        assert (a.a, a.b) == (b.a, b.b)
+        assert a("item") == b("item")
+
+    def test_different_seeds_differ(self):
+        a = CarterWegmanHash.from_seed(1, range_size=1000)
+        b = CarterWegmanHash.from_seed(2, range_size=1000)
+        outputs_a = [a(i) for i in range(50)]
+        outputs_b = [b(i) for i in range(50)]
+        assert outputs_a != outputs_b
+
+    def test_output_in_range(self):
+        hasher = CarterWegmanHash.from_seed(3, range_size=37)
+        for item in ["a", "b", 12, (1, 2), b"bytes"]:
+            assert 0 <= hasher(item) < 37
+
+    def test_uniform64_range(self):
+        hasher = CarterWegmanHash.from_seed(3, range_size=37)
+        assert 0 <= hasher.uniform64("x") < 2**64
+
+    def test_rejects_bad_coefficients(self):
+        with pytest.raises(ValueError):
+            CarterWegmanHash(a=0, b=0, p=101, range_size=10)
+        with pytest.raises(ValueError):
+            CarterWegmanHash(a=5, b=200, p=101, range_size=10)
+        with pytest.raises(ValueError):
+            CarterWegmanHash(a=5, b=3, p=101, range_size=500)
+        with pytest.raises(ValueError):
+            CarterWegmanHash(a=5, b=3, p=101, range_size=0)
+
+    def test_bucket_distribution_roughly_uniform(self):
+        hasher = CarterWegmanHash.from_seed(11, range_size=16)
+        counts = np.zeros(16)
+        samples = 16_000
+        for index in range(samples):
+            counts[hasher(f"key-{index}")] += 1
+        expected = samples / 16
+        chi_square = float(np.sum((counts - expected) ** 2 / expected))
+        # 15 degrees of freedom; 45 is far beyond the 99.9% quantile (~37.7)
+        # so failures indicate a real uniformity defect, not chance.
+        assert chi_square < 45.0

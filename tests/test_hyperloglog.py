@@ -1,0 +1,123 @@
+"""Unit tests for HyperLogLog (Flajolet et al. 2007)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.sketches.hyperloglog import (
+    HyperLogLog,
+    hyperloglog_alpha,
+    hyperloglog_estimate,
+)
+from repro.streams.generators import distinct_stream, duplicated_stream
+
+
+class TestAlpha:
+    def test_standard_small_values(self):
+        assert hyperloglog_alpha(16) == pytest.approx(0.673)
+        assert hyperloglog_alpha(32) == pytest.approx(0.697)
+        assert hyperloglog_alpha(64) == pytest.approx(0.709)
+
+    def test_large_m_formula(self):
+        assert hyperloglog_alpha(1024) == pytest.approx(0.7213 / (1 + 1.079 / 1024))
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            hyperloglog_alpha(0)
+
+
+class TestEstimateFunction:
+    def test_small_range_correction_used_when_registers_empty(self):
+        # With every register zero, the raw estimate is tiny and the linear
+        # counting correction gives 0 (log(m/m)).
+        registers = np.zeros(128)
+        assert hyperloglog_estimate(registers) == pytest.approx(0.0)
+
+    def test_no_correction_when_registers_large(self):
+        registers = np.full(128, 10.0)
+        expected = hyperloglog_alpha(128) * 128**2 / (128 * 2.0**-10)
+        assert hyperloglog_estimate(registers) == pytest.approx(expected)
+
+    def test_2d_input(self):
+        registers = np.stack([np.full(64, 5.0), np.full(64, 6.0)])
+        result = hyperloglog_estimate(registers, axis=1)
+        assert result.shape == (2,)
+        assert result[1] > result[0]
+
+    def test_agrees_with_streaming_class(self):
+        sketch = HyperLogLog(256, seed=3)
+        sketch.update(distinct_stream(5_000))
+        assert hyperloglog_estimate(sketch.registers) == pytest.approx(
+            sketch.estimate()
+        )
+
+
+class TestSketch:
+    def test_from_memory_register_width(self):
+        sketch = HyperLogLog.from_memory(6_000, n_max=10**6)
+        assert sketch.register_width == 5
+        assert sketch.num_registers == 1_200
+
+    def test_accuracy_mid_range(self):
+        sketch = HyperLogLog.from_memory(8_000, n_max=10**6, seed=11)
+        truth = 200_000
+        sketch.update(distinct_stream(truth))
+        assert abs(sketch.estimate() / truth - 1.0) < 0.15
+
+    def test_accuracy_small_range_with_correction(self):
+        sketch = HyperLogLog(1_024, seed=13)
+        truth = 100
+        sketch.update(distinct_stream(truth))
+        # Small-range correction makes tiny cardinalities near exact.
+        assert abs(sketch.estimate() / truth - 1.0) < 0.1
+
+    def test_duplicates_ignored(self):
+        sketch = HyperLogLog(256, seed=1)
+        sketch.update(duplicated_stream(500, 5_000, seed_or_rng=2))
+        estimate = sketch.estimate()
+        sketch.update(duplicated_stream(500, 5_000, seed_or_rng=3))
+        assert sketch.estimate() == estimate
+
+    def test_more_accurate_than_loglog_on_average(self):
+        # The harmonic mean is the whole point of HLL; check over replicates
+        # that its RRMSE is smaller than LogLog's with the same registers.
+        from repro.simulation import (
+            simulate_hyperloglog_estimates,
+            simulate_loglog_estimates,
+        )
+
+        rng = np.random.default_rng(5)
+        truth = 50_000
+        hll = simulate_hyperloglog_estimates(512, truth, 400, rng)
+        llog = simulate_loglog_estimates(512, truth, 400, rng)
+        rrmse_hll = float(np.sqrt(np.mean((hll / truth - 1) ** 2)))
+        rrmse_llog = float(np.sqrt(np.mean((llog / truth - 1) ** 2)))
+        assert rrmse_hll < rrmse_llog
+
+    def test_merge_union(self):
+        a = HyperLogLog(512, seed=9)
+        b = HyperLogLog(512, seed=9)
+        union = HyperLogLog(512, seed=9)
+        a.update(distinct_stream(4_000))
+        b.update(distinct_stream(4_000, start=3_000))
+        union.update(distinct_stream(7_000))
+        a.merge(b)
+        assert a.estimate() == pytest.approx(union.estimate())
+
+    def test_merge_rejects_loglog(self):
+        from repro.sketches.loglog import LogLog
+
+        with pytest.raises(TypeError):
+            HyperLogLog(128).merge(LogLog(128))
+
+    def test_error_constant_roughly_104_over_sqrt_m(self):
+        from repro.simulation import simulate_hyperloglog_estimates
+
+        rng = np.random.default_rng(17)
+        registers = 1_024
+        truth = 300_000
+        estimates = simulate_hyperloglog_estimates(registers, truth, 600, rng)
+        rrmse = float(np.sqrt(np.mean((estimates / truth - 1) ** 2)))
+        expected = 1.04 / np.sqrt(registers)
+        assert rrmse == pytest.approx(expected, rel=0.25)

@@ -1,0 +1,93 @@
+"""Unit tests for linear counting (Whang et al. 1990) and its estimator."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.sketches.linear_counting import LinearCounting, linear_counting_estimate
+from repro.streams.generators import distinct_stream, duplicated_stream
+
+
+class TestEstimatorFunction:
+    def test_zero_occupancy(self):
+        assert linear_counting_estimate(100, 0) == 0.0
+
+    def test_known_value(self):
+        assert linear_counting_estimate(100, 50) == pytest.approx(100 * math.log(2.0))
+
+    def test_saturation_value(self):
+        assert linear_counting_estimate(64, 64) == pytest.approx(64 * math.log(64))
+
+    def test_vectorised_matches_scalar(self):
+        occupancies = np.array([0, 10, 99, 100])
+        vectorised = linear_counting_estimate(100, occupancies)
+        scalar = [linear_counting_estimate(100, int(z)) for z in occupancies]
+        np.testing.assert_allclose(vectorised, scalar)
+
+    def test_monotone_in_occupancy(self):
+        values = linear_counting_estimate(256, np.arange(257))
+        # Strictly increasing until saturation; the saturated bitmap reports
+        # the same value as one empty bucket (the m*ln(m) clamp).
+        assert np.all(np.diff(values[:-1]) > 0)
+        assert values[-1] == pytest.approx(values[-2])
+
+
+class TestLinearCountingSketch:
+    def test_initially_zero(self):
+        assert LinearCounting(128).estimate() == 0.0
+
+    def test_duplicates_ignored(self):
+        sketch = LinearCounting(256, seed=1)
+        sketch.update(["a", "b", "a", "b", "a"])
+        occupancy_after = sketch.occupied
+        sketch.update(["a", "b"] * 100)
+        assert sketch.occupied == occupancy_after
+
+    def test_accuracy_at_moderate_load(self):
+        sketch = LinearCounting(4_096, seed=3)
+        truth = 1_500
+        sketch.update(duplicated_stream(truth, 4_000, seed_or_rng=1))
+        assert abs(sketch.estimate() / truth - 1.0) < 0.1
+
+    def test_degrades_when_overloaded(self):
+        # Cardinality far beyond m log m cannot be represented: the estimate
+        # is capped near the saturation value.
+        sketch = LinearCounting(64, seed=4)
+        sketch.update(distinct_stream(10_000))
+        assert sketch.estimate() <= 64 * math.log(64) + 1e-9
+
+    def test_memory_bits(self):
+        assert LinearCounting(300).memory_bits() == 300
+
+    def test_merge_equals_union(self):
+        left = LinearCounting(512, seed=9)
+        right = LinearCounting(512, seed=9)
+        union = LinearCounting(512, seed=9)
+        left.update(distinct_stream(200))
+        right.update(distinct_stream(200, start=150))
+        union.update(distinct_stream(350))
+        left.merge(right)
+        assert left.occupied == union.occupied
+        assert left.estimate() == union.estimate()
+
+    def test_merge_rejects_mismatched_sizes(self):
+        with pytest.raises(ValueError):
+            LinearCounting(128).merge(LinearCounting(256))
+
+    def test_merge_rejects_other_types(self):
+        from repro.sketches.exact import ExactCounter
+
+        with pytest.raises(TypeError):
+            LinearCounting(128).merge(ExactCounter())
+
+    def test_invalid_size(self):
+        with pytest.raises(ValueError):
+            LinearCounting(0)
+
+    def test_bit_vector_read_only(self):
+        sketch = LinearCounting(64)
+        with pytest.raises(ValueError):
+            sketch.bit_vector[0] = True

@@ -1,0 +1,113 @@
+"""Unit tests for LogLog counting (Durand & Flajolet 2003)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.sketches.loglog import LogLog, loglog_alpha, loglog_estimate
+from repro.streams.generators import distinct_stream, duplicated_stream
+
+
+class TestAlpha:
+    def test_close_to_asymptotic_constant(self):
+        # alpha_m -> 0.39701 as m grows.
+        assert loglog_alpha(4096) == pytest.approx(0.39701, rel=0.02)
+
+    def test_moderate_m(self):
+        assert 0.3 < loglog_alpha(64) < 0.45
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            loglog_alpha(1)
+
+
+class TestEstimateFunction:
+    def test_all_zero_registers(self):
+        registers = np.zeros(64)
+        assert loglog_estimate(registers) == pytest.approx(loglog_alpha(64) * 64)
+
+    def test_2d_rows_independent(self):
+        registers = np.array([[1, 2, 3, 4], [4, 3, 2, 1]])
+        result = loglog_estimate(registers, axis=1)
+        assert result.shape == (2,)
+        assert result[0] == pytest.approx(result[1])
+
+    def test_increasing_registers_increase_estimate(self):
+        low = loglog_estimate(np.full(32, 2.0))
+        high = loglog_estimate(np.full(32, 3.0))
+        assert high == pytest.approx(2.0 * low)
+
+
+class TestSketch:
+    def test_construction_validation(self):
+        with pytest.raises(ValueError):
+            LogLog(1)
+        with pytest.raises(ValueError):
+            LogLog(64, register_width=0)
+        with pytest.raises(ValueError):
+            LogLog(64, register_width=9)
+
+    def test_from_memory_uses_paper_register_width(self):
+        sketch = LogLog.from_memory(5_000, n_max=10**6)
+        assert sketch.register_width == 5
+        assert sketch.num_registers == 1_000
+        assert sketch.memory_bits() == 5_000
+
+    def test_duplicates_ignored(self):
+        sketch = LogLog(256, seed=1)
+        sketch.update(["a", "b", "c"])
+        registers = sketch.registers.copy()
+        sketch.update(["a", "b", "c"] * 100)
+        np.testing.assert_array_equal(sketch.registers, registers)
+
+    def test_registers_monotone_under_updates(self):
+        sketch = LogLog(128, seed=2)
+        previous = sketch.registers.copy()
+        for batch_start in range(0, 2_000, 500):
+            sketch.update(distinct_stream(500, start=batch_start))
+            assert np.all(sketch.registers >= previous)
+            previous = sketch.registers.copy()
+
+    def test_register_cap(self):
+        sketch = LogLog(16, register_width=3, seed=3)
+        sketch.update(distinct_stream(20_000))
+        assert sketch.registers.max() <= 7
+
+    def test_accuracy(self):
+        sketch = LogLog.from_memory(8_000, n_max=10**6, seed=5)
+        truth = 100_000
+        sketch.update(distinct_stream(truth))
+        # 1600 registers -> ~3.3% asymptotic error; allow 6 sigma.
+        assert abs(sketch.estimate() / truth - 1.0) < 0.2
+
+    def test_estimate_with_duplication(self):
+        sketch = LogLog.from_memory(4_000, n_max=10**5, seed=7)
+        truth = 10_000
+        sketch.update(duplicated_stream(truth, 30_000, seed_or_rng=3))
+        assert abs(sketch.estimate() / truth - 1.0) < 0.25
+
+    def test_merge_union(self):
+        a = LogLog(512, seed=9)
+        b = LogLog(512, seed=9)
+        union = LogLog(512, seed=9)
+        a.update(distinct_stream(3_000))
+        b.update(distinct_stream(3_000, start=2_000))
+        union.update(distinct_stream(5_000))
+        a.merge(b)
+        np.testing.assert_array_equal(a.registers, union.registers)
+
+    def test_merge_rejects_mismatched_config(self):
+        with pytest.raises(ValueError):
+            LogLog(128).merge(LogLog(256))
+
+    def test_merge_rejects_hyperloglog(self):
+        from repro.sketches.hyperloglog import HyperLogLog
+
+        with pytest.raises(TypeError):
+            LogLog(128).merge(HyperLogLog(128))
+
+    def test_registers_read_only(self):
+        sketch = LogLog(64)
+        with pytest.raises(ValueError):
+            sketch.registers[0] = 3

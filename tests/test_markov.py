@@ -1,0 +1,131 @@
+"""Unit tests for the non-stationary Markov-chain model (Section 4.1)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.dimensioning import SBitmapDesign
+from repro.core.markov import SBitmapMarkovChain
+
+
+@pytest.fixture
+def tiny_design() -> SBitmapDesign:
+    return SBitmapDesign.from_memory(num_bits=64, n_max=1_000)
+
+
+@pytest.fixture
+def chain(tiny_design) -> SBitmapMarkovChain:
+    return SBitmapMarkovChain(tiny_design)
+
+
+class TestFillDistribution:
+    def test_initial_distribution(self, chain, tiny_design):
+        distribution = chain.fill_distribution(0)
+        assert distribution[0] == 1.0
+        assert distribution.sum() == pytest.approx(1.0)
+
+    def test_distribution_sums_to_one(self, chain):
+        for cardinality in (1, 10, 100, 500):
+            assert chain.fill_distribution(cardinality).sum() == pytest.approx(1.0)
+
+    def test_one_item_distribution(self, chain, tiny_design):
+        # After exactly one distinct item, L_1 is Bernoulli(q_1).
+        q1 = tiny_design.fill_rates()[1]
+        distribution = chain.fill_distribution(1)
+        assert distribution[1] == pytest.approx(q1)
+        assert distribution[0] == pytest.approx(1.0 - q1)
+
+    def test_mean_fill_count_increases(self, chain, tiny_design):
+        states = np.arange(tiny_design.num_bits + 1)
+        means = [
+            float(np.dot(chain.fill_distribution(n), states)) for n in (1, 10, 100, 500)
+        ]
+        assert all(b > a for a, b in zip(means, means[1:]))
+
+    def test_step_matches_full_recursion(self, chain):
+        via_steps = chain.fill_distribution(0)
+        for _ in range(25):
+            via_steps = chain.step_distribution(via_steps)
+        np.testing.assert_allclose(via_steps, chain.fill_distribution(25), atol=1e-12)
+
+    def test_step_rejects_bad_shape(self, chain):
+        with pytest.raises(ValueError):
+            chain.step_distribution(np.array([1.0, 0.0]))
+
+    def test_negative_cardinality_rejected(self, chain):
+        with pytest.raises(ValueError):
+            chain.fill_distribution(-1)
+
+
+class TestEstimatorMoments:
+    def test_unbiased_in_interior(self, chain, tiny_design):
+        # Theorem 3: exact unbiasedness away from the truncation boundary.
+        for cardinality in (10, 50, 200):
+            mean, _ = chain.estimator_moments(cardinality)
+            assert mean == pytest.approx(cardinality, rel=0.02)
+
+    def test_variance_matches_theorem3(self, chain, tiny_design):
+        cardinality = 100
+        _, variance = chain.estimator_moments(cardinality)
+        expected = cardinality**2 / (tiny_design.precision - 1.0)
+        assert variance == pytest.approx(expected, rel=0.15)
+
+    def test_exact_rrmse_flat_across_range(self, chain, tiny_design):
+        # Scale-invariance: the exact RRMSE stays near (C-1)^-1/2 across the
+        # interior of the range.
+        values = [chain.exact_rrmse(n) for n in (20, 100, 400)]
+        for value in values:
+            assert value == pytest.approx(tiny_design.rrmse, rel=0.2)
+
+    def test_truncation_reduces_error_at_boundary(self, chain, tiny_design):
+        # At n = N the truncated estimator cannot overshoot, so its RRMSE is
+        # at most the scale-invariant constant.
+        assert chain.exact_rrmse(tiny_design.n_max) <= tiny_design.rrmse * 1.05
+
+    def test_exact_rrmse_requires_positive_n(self, chain):
+        with pytest.raises(ValueError):
+            chain.exact_rrmse(0)
+
+
+class TestClosedForms:
+    def test_theoretical_mean_and_variance(self, chain, tiny_design):
+        assert chain.theoretical_mean(123) == 123.0
+        assert chain.theoretical_variance(123) == pytest.approx(
+            123.0**2 / (tiny_design.precision - 1.0)
+        )
+
+    def test_theoretical_rrmse(self, chain, tiny_design):
+        assert chain.theoretical_rrmse() == tiny_design.rrmse
+
+    def test_fill_time_relative_error_constant(self, chain, tiny_design):
+        # Theorem 2 through the chain interface.
+        for fill in (1, 5, tiny_design.max_fill):
+            assert chain.relative_fill_time_error(fill) == pytest.approx(
+                tiny_design.precision**-0.5, rel=1e-6
+            )
+
+    def test_fill_time_normal_approximation_shapes(self, chain):
+        mean, std = chain.fill_time_normal_approximation(10)
+        assert mean > 0
+        assert std > 0
+
+    def test_negative_cardinality_rejected(self, chain):
+        with pytest.raises(ValueError):
+            chain.theoretical_mean(-1)
+
+
+class TestAgreementWithSimulation:
+    def test_fill_distribution_matches_monte_carlo(self, chain, tiny_design, rng):
+        # The exact distribution of L_n must agree with the geometric-sum
+        # simulator (both derive from Lemma 1 / Theorem 1).
+        from repro.simulation import simulate_fill_counts
+
+        cardinality = 150
+        exact = chain.fill_distribution(cardinality)
+        exact_mean = float(np.dot(exact, np.arange(exact.size)))
+        counts = simulate_fill_counts(
+            tiny_design, np.array([cardinality]), 3_000, rng
+        )[:, 0]
+        simulated_mean = float(np.mean(counts))
+        assert simulated_mean == pytest.approx(exact_mean, rel=0.02)

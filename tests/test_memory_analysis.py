@@ -1,0 +1,74 @@
+"""Unit tests for the memory-accounting analysis (Table 2 / Figure 3 support)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.memory import (
+    memory_budget_report,
+    memory_table,
+    sampling_family_memory_bits,
+)
+
+
+class TestMemoryBudgetReport:
+    def test_fields_positive(self):
+        report = memory_budget_report(10**6, 0.02)
+        for value in (
+            report.sbitmap,
+            report.hyperloglog,
+            report.loglog,
+            report.sampling_family,
+            report.linear_counting,
+        ):
+            assert value > 0
+
+    def test_ratio_definition(self):
+        report = memory_budget_report(10**5, 0.03)
+        assert report.hll_to_sbitmap_ratio == pytest.approx(
+            report.hyperloglog / report.sbitmap
+        )
+
+    def test_ordering_at_small_error(self):
+        # At 1% error and N = 10^6 the paper's hierarchy is
+        # S-bitmap < HLL < LogLog < sampling family < linear counting.
+        report = memory_budget_report(10**6, 0.01)
+        assert report.sbitmap < report.hyperloglog < report.loglog
+        assert report.loglog < report.sampling_family * 10
+        assert report.sbitmap < report.linear_counting
+
+    def test_as_dict(self):
+        payload = memory_budget_report(10**4, 0.05).as_dict()
+        assert payload["n_max"] == 10**4
+        assert "hll_to_sbitmap_ratio" in payload
+
+
+class TestMemoryTable:
+    def test_grid_size(self):
+        table = memory_table([10**3, 10**4], [0.01, 0.03, 0.09])
+        assert len(table) == 6
+
+    def test_empty_inputs_rejected(self):
+        with pytest.raises(ValueError):
+            memory_table([], [0.01])
+        with pytest.raises(ValueError):
+            memory_table([10**3], [])
+
+    def test_matches_paper_ratio_trend(self):
+        # The S-bitmap advantage should shrink as N grows (Table 2 rows).
+        table = memory_table([10**3, 10**7], [0.03])
+        small_n, large_n = table[0], table[1]
+        assert small_n.hll_to_sbitmap_ratio > large_n.hll_to_sbitmap_ratio
+
+
+class TestSamplingFamilyMemory:
+    def test_scales_with_log_n(self):
+        assert sampling_family_memory_bits(2**20, 0.05) == pytest.approx(
+            2 * sampling_family_memory_bits(2**10, 0.05)
+        )
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            sampling_family_memory_bits(10, 0.0)
+        with pytest.raises(ValueError):
+            sampling_family_memory_bits(1, 0.1)

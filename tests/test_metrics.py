@@ -1,0 +1,98 @@
+"""Unit tests for the error metrics (RRMSE, L1, quantiles, exceedance)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.metrics import (
+    ErrorSummary,
+    exceedance_proportions,
+    mean_absolute_relative_error,
+    relative_error_quantile,
+    relative_errors,
+    rrmse,
+    summarize_errors,
+)
+
+
+class TestRelativeErrors:
+    def test_exact_estimates_give_zero(self):
+        errors = relative_errors(np.array([100.0, 100.0]), 100.0)
+        np.testing.assert_allclose(errors, 0.0)
+
+    def test_signs(self):
+        errors = relative_errors(np.array([90.0, 110.0]), 100.0)
+        np.testing.assert_allclose(errors, [-0.1, 0.1])
+
+    def test_vector_truth(self):
+        errors = relative_errors(np.array([10.0, 40.0]), np.array([10.0, 20.0]))
+        np.testing.assert_allclose(errors, [0.0, 1.0])
+
+    def test_nonpositive_truth_rejected(self):
+        with pytest.raises(ValueError):
+            relative_errors(np.array([1.0]), 0.0)
+
+
+class TestScalarMetrics:
+    def test_rrmse_known_value(self):
+        # Errors -10% and +10% -> RRMSE 10%.
+        assert rrmse(np.array([90.0, 110.0]), 100.0) == pytest.approx(0.1)
+
+    def test_l1_known_value(self):
+        assert mean_absolute_relative_error(
+            np.array([90.0, 120.0]), 100.0
+        ) == pytest.approx(0.15)
+
+    def test_rrmse_at_least_l1(self):
+        estimates = np.array([80.0, 95.0, 130.0, 101.0])
+        assert rrmse(estimates, 100.0) >= mean_absolute_relative_error(estimates, 100.0)
+
+    def test_quantile(self):
+        estimates = 100.0 + np.arange(100)  # errors 0%..99%
+        assert relative_error_quantile(estimates, 100.0, quantile=0.5) == pytest.approx(
+            0.495, abs=0.01
+        )
+
+    def test_quantile_validation(self):
+        with pytest.raises(ValueError):
+            relative_error_quantile(np.array([1.0]), 1.0, quantile=0.0)
+
+
+class TestExceedance:
+    def test_basic(self):
+        errors = np.array([0.01, 0.05, 0.20])
+        proportions = exceedance_proportions(errors, np.array([0.0, 0.04, 0.5]))
+        np.testing.assert_allclose(proportions, [1.0, 2 / 3, 0.0])
+
+    def test_monotone_nonincreasing_in_threshold(self):
+        errors = np.abs(np.random.default_rng(1).normal(0, 0.05, size=500))
+        thresholds = np.linspace(0, 0.2, 21)
+        proportions = exceedance_proportions(errors, thresholds)
+        assert np.all(np.diff(proportions) <= 1e-12)
+
+    def test_requires_1d(self):
+        with pytest.raises(ValueError):
+            exceedance_proportions(np.zeros((2, 2)), np.array([0.1]))
+
+
+class TestSummary:
+    def test_summary_fields(self):
+        estimates = np.array([95.0, 100.0, 105.0, 110.0])
+        summary = summarize_errors(estimates, 100.0)
+        assert isinstance(summary, ErrorSummary)
+        assert summary.truth == 100.0
+        assert summary.replicates == 4
+        assert summary.l1 == pytest.approx(np.mean([0.05, 0.0, 0.05, 0.10]))
+        assert summary.l2 == pytest.approx(rrmse(estimates, 100.0))
+        assert summary.bias == pytest.approx(0.025)
+        assert summary.q99 <= 0.10 + 1e-12
+
+    def test_as_dict_round_trip(self):
+        summary = summarize_errors(np.array([1.0, 2.0]), 1.5)
+        payload = summary.as_dict()
+        assert set(payload) == {"truth", "replicates", "l1", "l2", "q99", "bias"}
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            summarize_errors(np.array([]), 1.0)

@@ -1,0 +1,143 @@
+"""Unit tests for the multiresolution bitmap (Estan et al. 2006)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.sketches.mr_bitmap import (
+    DEFAULT_FILL_THRESHOLD,
+    MultiresolutionBitmap,
+    mr_bitmap_estimate,
+)
+from repro.streams.generators import distinct_stream, duplicated_stream
+
+
+class TestEstimateFunction:
+    def test_empty_components_give_zero(self):
+        assert mr_bitmap_estimate([100, 100, 100], [0, 0, 0]) == 0.0
+
+    def test_single_component_equals_linear_counting(self):
+        from repro.sketches.linear_counting import linear_counting_estimate
+
+        assert mr_bitmap_estimate([200], [80]) == pytest.approx(
+            float(linear_counting_estimate(200, 80))
+        )
+
+    def test_saturated_coarse_component_is_skipped(self):
+        # Component 1 is full, so base moves past it and the result is scaled
+        # by 2^(base-1) = 2.
+        sizes = [64, 64, 128]
+        occupancies = [64, 20, 5]
+        estimate = mr_bitmap_estimate(sizes, occupancies)
+        expected = 2.0 * (
+            64 * np.log(64 / 44) + 128 * np.log(128 / 123)
+        )
+        assert estimate == pytest.approx(float(expected))
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ValueError):
+            mr_bitmap_estimate([10, 10], [1])
+
+    def test_monotone_in_occupancy_of_base_component(self):
+        sizes = [128]
+        values = [mr_bitmap_estimate(sizes, [z]) for z in range(0, 120, 10)]
+        assert all(b > a for a, b in zip(values, values[1:]))
+
+
+class TestDesign:
+    def test_design_fits_memory_budget(self):
+        for budget in (800, 2_700, 7_200, 40_000):
+            sketch = MultiresolutionBitmap.design(budget, 2**20)
+            assert sketch.memory_bits() <= budget
+
+    def test_more_memory_means_fewer_or_equal_components(self):
+        small = MultiresolutionBitmap.design(800, 2**20)
+        large = MultiresolutionBitmap.design(40_000, 2**20)
+        assert large.num_components <= small.num_components
+
+    def test_single_component_when_memory_ample(self):
+        sketch = MultiresolutionBitmap.design(50_000, 1_000)
+        assert sketch.num_components == 1
+
+    def test_last_component_can_hold_the_tail_at_n_max(self):
+        n_max = 2**20
+        sketch = MultiresolutionBitmap.design(4_000, n_max)
+        expected_tail = n_max * 2.0 ** -(sketch.num_components - 1)
+        capacity = -np.log(1.0 - DEFAULT_FILL_THRESHOLD) * sketch.component_sizes[-1]
+        assert expected_tail <= capacity * 1.001
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            MultiresolutionBitmap.design(4, 1_000)
+        with pytest.raises(ValueError):
+            MultiresolutionBitmap.design(1_000, 0)
+        with pytest.raises(ValueError):
+            MultiresolutionBitmap([])
+        with pytest.raises(ValueError):
+            MultiresolutionBitmap([10, -1])
+        with pytest.raises(ValueError):
+            MultiresolutionBitmap([10], fill_threshold=0.0)
+
+
+class TestSketchBehaviour:
+    def test_duplicates_ignored(self):
+        sketch = MultiresolutionBitmap.design(2_000, 100_000, seed=1)
+        sketch.update(["a", "b", "c"])
+        occupancies = sketch.component_occupancies()
+        sketch.update(["a", "b", "c"] * 50)
+        assert sketch.component_occupancies() == occupancies
+
+    def test_accuracy_mid_range(self):
+        sketch = MultiresolutionBitmap.design(8_000, 200_000, seed=3)
+        truth = 20_000
+        sketch.update(distinct_stream(truth))
+        assert abs(sketch.estimate() / truth - 1.0) < 0.2
+
+    def test_accuracy_small_cardinality(self):
+        sketch = MultiresolutionBitmap.design(8_000, 200_000, seed=5)
+        truth = 200
+        sketch.update(duplicated_stream(truth, 1_000, seed_or_rng=2))
+        assert abs(sketch.estimate() / truth - 1.0) < 0.3
+
+    def test_not_scale_invariant(self):
+        # The paper's central criticism: the relative error of mr-bitmap
+        # varies substantially across the cardinality range.  Compare the
+        # empirical RRMSE at a small and a boundary cardinality.
+        from repro.simulation import simulate_mr_bitmap_estimates
+
+        rng = np.random.default_rng(11)
+        sizes = MultiresolutionBitmap.design(2_700, 10_000).component_sizes
+        small_estimates = simulate_mr_bitmap_estimates(sizes, 100, 300, rng)
+        large_estimates = simulate_mr_bitmap_estimates(sizes, 10_000, 300, rng)
+        rrmse_small = float(np.sqrt(np.mean((small_estimates / 100 - 1) ** 2)))
+        rrmse_large = float(np.sqrt(np.mean((large_estimates / 10_000 - 1) ** 2)))
+        assert rrmse_large > 1.5 * rrmse_small
+
+    def test_level_probabilities_geometric(self):
+        sketch = MultiresolutionBitmap([32, 32, 32, 64], seed=7)
+        # _level_of maps the hash fraction; check the partition boundaries.
+        assert sketch._level_of(0.9) == 1
+        assert sketch._level_of(0.5) == 1
+        assert sketch._level_of(0.3) == 2
+        assert sketch._level_of(0.25) == 2
+        assert sketch._level_of(0.2) == 3
+        assert sketch._level_of(0.01) == 4
+
+    def test_merge_union(self):
+        a = MultiresolutionBitmap([64, 64, 128], seed=2)
+        b = MultiresolutionBitmap([64, 64, 128], seed=2)
+        union = MultiresolutionBitmap([64, 64, 128], seed=2)
+        a.update(distinct_stream(100))
+        b.update(distinct_stream(100, start=60))
+        union.update(distinct_stream(160))
+        a.merge(b)
+        assert a.component_occupancies() == union.component_occupancies()
+
+    def test_merge_rejects_different_designs(self):
+        with pytest.raises(ValueError):
+            MultiresolutionBitmap([64, 64]).merge(MultiresolutionBitmap([64, 128]))
+
+    def test_memory_bits_is_sum_of_components(self):
+        sketch = MultiresolutionBitmap([100, 200, 300])
+        assert sketch.memory_bits() == 600

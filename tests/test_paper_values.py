@@ -1,0 +1,111 @@
+"""Regression tests pinning the reproduction to numbers stated in the paper.
+
+Each test quotes the section of the paper the value comes from.  These are
+the strongest form of "did we build the right thing" checks: closed-form
+quantities must match essentially exactly, Monte-Carlo quantities within
+sampling noise.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import theory
+from repro.core.dimensioning import (
+    SBitmapDesign,
+    memory_for_error,
+    solve_precision_constant,
+)
+from repro.simulation import simulate_sbitmap_estimates
+
+
+class TestSection5Dimensioning:
+    def test_30_kilobits_for_one_percent_at_one_million(self):
+        # Section 5.1: "to achieve errors no more than 1% for all possible
+        # cardinalities from 1 to N [=10^6], we need only about 30 kilobits".
+        bits = memory_for_error(10**6, 0.01)
+        assert 29_000 < bits < 33_000
+
+    def test_equation7_solution_for_that_example(self):
+        # Same example: C ~ 0.01^-2 when m = 30000 and N = 10^6.
+        precision = solve_precision_constant(30_000, 10**6)
+        assert precision == pytest.approx(1e4, rel=0.06)
+
+
+class TestSection6Figure2Setups:
+    def test_m4000_gives_c_915_6_and_eps_3_3_percent(self):
+        design = SBitmapDesign.from_memory(4_000, 2**20)
+        assert design.precision == pytest.approx(915.6, rel=0.005)
+        assert design.rrmse == pytest.approx(0.033, abs=0.0005)
+
+    def test_m1800_gives_c_373_7_and_eps_5_2_percent(self):
+        design = SBitmapDesign.from_memory(1_800, 2**20)
+        assert design.precision == pytest.approx(373.7, rel=0.005)
+        assert design.rrmse == pytest.approx(0.052, abs=0.001)
+
+    def test_empirical_error_matches_theory_for_both_designs(self, rng):
+        # Figure 2's claim: empirical and theoretical errors "match extremely
+        # well" across the cardinality range.
+        for memory_bits in (4_000, 1_800):
+            design = SBitmapDesign.from_memory(memory_bits, 2**20)
+            for truth in (1_000, 100_000):
+                estimates = simulate_sbitmap_estimates(design, truth, 500, rng)
+                empirical = float(np.sqrt(np.mean((estimates / truth - 1.0) ** 2)))
+                assert empirical == pytest.approx(design.rrmse, rel=0.15)
+
+
+class TestSection7Setups:
+    def test_slammer_configuration(self):
+        # Section 7.1: m = 8000, N = 10^6 -> C = 2026.55, eps = 2.2%.
+        design = SBitmapDesign.from_memory(8_000, 10**6)
+        assert design.precision == pytest.approx(2026.55, rel=0.005)
+        assert design.rrmse == pytest.approx(0.022, abs=0.001)
+
+    def test_backbone_configuration(self):
+        # Section 7.2: m = 7200, N = 1.5e6 -> expected std 2.4%.
+        design = SBitmapDesign.from_memory(7_200, 1_500_000)
+        assert design.rrmse == pytest.approx(0.024, abs=0.001)
+
+
+class TestTable2ClosedForms:
+    @pytest.mark.parametrize(
+        "n_max,eps,paper_hll,paper_sbitmap",
+        [
+            (10**3, 0.01, 432.6, 59.1),
+            (10**4, 0.01, 432.6, 104.9),
+            (10**5, 0.01, 540.8, 202.2),
+            (10**6, 0.01, 540.8, 315.2),
+            (10**7, 0.01, 540.8, 430.1),
+            (10**4, 0.03, 48.1, 21.9),
+            (10**6, 0.03, 60.1, 47.2),
+            (10**3, 0.09, 5.3, 2.4),
+            (10**6, 0.09, 6.7, 6.6),
+            (10**7, 0.09, 6.7, 8.1),
+        ],
+    )
+    def test_cells(self, n_max, eps, paper_hll, paper_sbitmap):
+        hll = theory.hyperloglog_memory_bits(n_max, eps) / 100.0
+        sbitmap = theory.sbitmap_memory_bits(n_max, eps) / 100.0
+        assert hll == pytest.approx(paper_hll, rel=0.02)
+        assert sbitmap == pytest.approx(paper_sbitmap, rel=0.03)
+
+    def test_the_two_textual_claims_about_table2(self):
+        # Section 6.2: "for N = 10^6 and eps <= 3% ... Hyper-LogLog requires at
+        # least 27% more memory than S-bitmap", and "for N = 10^4 and eps <= 3%
+        # ... at least 120% more memory".
+        ratio_core = theory.memory_ratio_hll_to_sbitmap(10**6, 0.03)
+        ratio_household = theory.memory_ratio_hll_to_sbitmap(10**4, 0.03)
+        assert ratio_core >= 1.27 * 0.99
+        assert ratio_household >= 2.20 * 0.99
+
+
+class TestLogCountingConstants:
+    def test_loglog_vs_hll_56_percent(self):
+        # Section 6.2: "LogLog requires about 56% more memory than
+        # Hyper-LogLog to achieve the same asymptotic error".
+        ratio = (theory.LOGLOG_ERROR_CONSTANT / theory.HYPERLOGLOG_ERROR_CONSTANT) ** 2
+        assert ratio == pytest.approx(1.5625, abs=0.01)
+
+    def test_crossover_eta_value(self):
+        assert theory.CROSSOVER_ETA == pytest.approx(3.1206)

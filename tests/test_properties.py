@@ -1,0 +1,254 @@
+"""Property-based tests (hypothesis) on core data structures and invariants."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.metrics import rrmse, summarize_errors
+from repro.analysis.tables import format_table
+from repro.core.dimensioning import SBitmapDesign, solve_precision_constant
+from repro.core.estimator import SBitmapEstimator
+from repro.core.sbitmap import SBitmap
+from repro.hashing.bits import bit_field, rho
+from repro.hashing.family import MixerHashFamily
+from repro.hashing.mixers import MASK64, key_to_int, splitmix64
+from repro.sketches.exact import ExactCounter
+from repro.sketches.hyperloglog import HyperLogLog
+from repro.sketches.kmv import KMinimumValues
+from repro.sketches.linear_counting import LinearCounting
+
+# --------------------------------------------------------------------------- #
+# hashing
+# --------------------------------------------------------------------------- #
+
+any_key = st.one_of(
+    st.integers(min_value=-(2**70), max_value=2**70),
+    st.text(max_size=40),
+    st.binary(max_size=40),
+    st.tuples(st.text(max_size=10), st.integers(0, 2**16)),
+    st.floats(allow_nan=False, allow_infinity=False),
+)
+
+
+@given(value=st.integers(min_value=0, max_value=MASK64))
+def test_splitmix64_stays_in_64_bits(value):
+    assert 0 <= splitmix64(value) <= MASK64
+
+
+@given(value=st.integers(min_value=0, max_value=MASK64))
+def test_splitmix64_deterministic(value):
+    assert splitmix64(value) == splitmix64(value)
+
+
+@given(item=any_key)
+def test_key_to_int_is_deterministic_and_64_bit(item):
+    first = key_to_int(item)
+    second = key_to_int(item)
+    assert first == second
+    assert 0 <= first <= MASK64
+
+
+@given(item=any_key, seed=st.integers(min_value=0, max_value=2**32))
+def test_hash_family_bucket_always_in_range(item, seed):
+    family = MixerHashFamily(seed)
+    assert 0 <= family.bucket(item, 97) < 97
+    assert 0.0 <= family.fraction(item) < 1.0
+
+
+@given(
+    value=st.integers(min_value=0, max_value=MASK64),
+    split=st.integers(min_value=1, max_value=63),
+)
+def test_bit_field_split_reassembles_value(value, split):
+    high = bit_field(value, 0, split, width=64)
+    low = bit_field(value, split, 64 - split, width=64)
+    assert (high << (64 - split)) | low == value
+
+
+@given(value=st.integers(min_value=0, max_value=2**32 - 1))
+def test_rho_counts_leading_zeros(value):
+    result = rho(value, width=32)
+    if value == 0:
+        assert result == 33
+    else:
+        assert result == 32 - value.bit_length() + 1
+        assert 1 <= result <= 32
+
+
+# --------------------------------------------------------------------------- #
+# dimensioning / estimator
+# --------------------------------------------------------------------------- #
+
+
+@given(
+    num_bits=st.integers(min_value=64, max_value=20_000),
+    n_max=st.integers(min_value=1_000, max_value=5_000_000),
+)
+@settings(max_examples=30, deadline=None)
+def test_dimensioning_invariants(num_bits, n_max):
+    precision = solve_precision_constant(num_bits, n_max)
+    assert precision > 1.0
+    design = SBitmapDesign(num_bits=num_bits, n_max=n_max, precision=precision)
+    rates = design.sampling_rates()[1:]
+    # Sampling rates are valid probabilities and non-increasing (Lemma 1).
+    assert np.all(rates > 0.0)
+    assert np.all(rates <= 1.0)
+    assert np.all(np.diff(rates) <= 1e-12)
+    # Fill times are strictly increasing and reach ~N at the truncation level.
+    fill_times = design.expected_fill_times()
+    assert np.all(np.diff(fill_times[: design.max_fill + 1]) > 0)
+    assert fill_times[design.max_fill] >= 0.5 * n_max
+
+
+@given(
+    num_bits=st.integers(min_value=64, max_value=5_000),
+    n_max=st.integers(min_value=1_000, max_value=1_000_000),
+    data=st.data(),
+)
+@settings(max_examples=30, deadline=None)
+def test_estimator_monotone_and_bounded(num_bits, n_max, data):
+    design = SBitmapDesign.from_memory(num_bits, n_max)
+    estimator = SBitmapEstimator(design)
+    fill_a = data.draw(st.integers(min_value=0, max_value=design.num_bits))
+    fill_b = data.draw(st.integers(min_value=0, max_value=design.num_bits))
+    low, high = sorted((fill_a, fill_b))
+    assert estimator.estimate(low) <= estimator.estimate(high)
+    assert estimator.estimate(high) <= design.n_max * 1.2
+
+
+# --------------------------------------------------------------------------- #
+# sketch invariants
+# --------------------------------------------------------------------------- #
+
+item_lists = st.lists(
+    st.one_of(st.integers(0, 10_000), st.text(max_size=12)), max_size=300
+)
+
+
+@given(items=item_lists, seed=st.integers(0, 2**16))
+@settings(max_examples=40, deadline=None)
+def test_sbitmap_duplicate_insensitive_per_stream(items, seed):
+    """Re-appending an already-processed suffix never changes the state."""
+    design = SBitmapDesign.from_memory(256, 10_000)
+    sketch = SBitmap(design, seed=seed)
+    sketch.update(items)
+    fill_before = sketch.fill_count
+    sketch.update(items)  # every item is now a duplicate
+    assert sketch.fill_count == fill_before
+
+
+@given(items=item_lists, seed=st.integers(0, 2**16))
+@settings(max_examples=40, deadline=None)
+def test_sbitmap_fill_bounded_by_distinct_count(items, seed):
+    design = SBitmapDesign.from_memory(256, 10_000)
+    sketch = SBitmap(design, seed=seed)
+    sketch.update(items)
+    assert sketch.fill_count <= len({key_to_int(item) for item in items})
+
+
+@given(items=item_lists, seed=st.integers(0, 2**16))
+@settings(max_examples=40, deadline=None)
+def test_hyperloglog_merge_is_idempotent_and_commutative(items, seed):
+    left = HyperLogLog(64, seed=seed)
+    right = HyperLogLog(64, seed=seed)
+    half = len(items) // 2
+    left.update(items[:half])
+    right.update(items[half:])
+    merged_lr = left.copy().merge(right)
+    merged_rl = right.copy().merge(left)
+    np.testing.assert_array_equal(merged_lr.registers, merged_rl.registers)
+    # Merging the same sketch again changes nothing (idempotence).
+    again = merged_lr.copy().merge(right)
+    np.testing.assert_array_equal(again.registers, merged_lr.registers)
+
+
+@given(items=item_lists, seed=st.integers(0, 2**16))
+@settings(max_examples=40, deadline=None)
+def test_linear_counting_merge_equals_concatenation(items, seed):
+    half = len(items) // 2
+    left = LinearCounting(128, seed=seed)
+    right = LinearCounting(128, seed=seed)
+    combined = LinearCounting(128, seed=seed)
+    left.update(items[:half])
+    right.update(items[half:])
+    combined.update(items)
+    left.merge(right)
+    assert left.occupied == combined.occupied
+
+
+@given(items=item_lists)
+@settings(max_examples=40, deadline=None)
+def test_exact_counter_matches_python_set(items):
+    counter = ExactCounter()
+    counter.update(items)
+    assert counter.estimate() == len({key_to_int(item) for item in items})
+
+
+@given(items=st.lists(st.integers(0, 10**6), min_size=1, max_size=400), seed=st.integers(0, 100))
+@settings(max_examples=30, deadline=None)
+def test_kmv_underfull_is_exact(items, seed):
+    distinct = len(set(items))
+    sketch = KMinimumValues(k=500, seed=seed)
+    sketch.update(items)
+    assert sketch.estimate() == distinct
+
+
+# --------------------------------------------------------------------------- #
+# metrics / tables
+# --------------------------------------------------------------------------- #
+
+
+@given(
+    estimates=st.lists(
+        st.floats(min_value=0.1, max_value=1e6, allow_nan=False), min_size=1, max_size=80
+    ),
+    truth=st.floats(min_value=0.1, max_value=1e6, allow_nan=False),
+)
+def test_error_summary_invariants(estimates, truth):
+    summary = summarize_errors(np.array(estimates), truth)
+    assert summary.l2 >= summary.l1 >= 0.0
+    assert summary.q99 >= 0.0
+    assert summary.replicates == len(estimates)
+    assert abs(summary.bias) <= summary.l1 + 1e-12
+
+
+@given(
+    estimates=st.lists(
+        st.floats(min_value=0.1, max_value=1e6, allow_nan=False), min_size=1, max_size=50
+    ),
+    scale=st.floats(min_value=0.01, max_value=100.0),
+)
+def test_rrmse_is_scale_free(estimates, scale):
+    values = np.array(estimates)
+    assert rrmse(values, 10.0) == pytest.approx(
+        rrmse(values * scale, 10.0 * scale), rel=1e-9
+    )
+
+
+@given(
+    rows=st.lists(
+        st.lists(
+            st.one_of(
+                st.integers(-1000, 1000),
+                st.floats(allow_nan=False, allow_infinity=False, width=32),
+                st.text(
+                    alphabet=st.characters(
+                        whitelist_categories=("Lu", "Ll", "Nd"), max_codepoint=0x024F
+                    ),
+                    max_size=8,
+                ),
+            ),
+            min_size=2,
+            max_size=2,
+        ),
+        max_size=10,
+    )
+)
+def test_format_table_never_crashes_and_aligns(rows):
+    text = format_table(["col_a", "col_b"], rows)
+    lines = text.splitlines()
+    assert len(lines) == 2 + len(rows)
+    assert len({len(line) for line in lines}) == 1

@@ -1,0 +1,51 @@
+"""Smoke test for the run-everything reproduction report."""
+
+from __future__ import annotations
+
+from repro.experiments import report
+
+
+class TestGenerateReport:
+    def test_contains_every_experiment_section(self, tmp_path):
+        text = report.generate_report(
+            replicates=25,
+            trace_minutes=20,
+            num_links=60,
+            seed=1,
+            include_ablations=False,
+        )
+        for marker in (
+            "Figure 2",
+            "Table 2",
+            "Figure 3",
+            "Figure 4",
+            "Table 3",
+            "Table 4",
+            "Figure 5",
+            "Figure 6",
+            "Figure 7",
+            "Figure 8",
+        ):
+            assert marker in text, marker
+        # The report is genuinely substantial (hundreds of table rows).
+        assert len(text.splitlines()) > 150
+
+    def test_main_writes_output_file(self, tmp_path, capsys):
+        destination = tmp_path / "report.txt"
+        exit_code = report.main(
+            [
+                "--replicates",
+                "20",
+                "--trace-minutes",
+                "15",
+                "--num-links",
+                "50",
+                "--no-ablations",
+                "--output",
+                str(destination),
+            ]
+        )
+        assert exit_code == 0
+        assert destination.exists()
+        assert "Figure 8" in destination.read_text()
+        assert "wrote" in capsys.readouterr().out

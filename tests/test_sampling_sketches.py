@@ -1,0 +1,185 @@
+"""Unit tests for the distinct-sampling family (Wegman/Flajolet, Gibbons) and KMV."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.sketches.adaptive_sampling import AdaptiveSampling
+from repro.sketches.distinct_sampling import DistinctSampling
+from repro.sketches.kmv import KMinimumValues
+from repro.streams.generators import distinct_stream, duplicated_stream
+
+
+class TestAdaptiveSampling:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            AdaptiveSampling(0)
+        with pytest.raises(ValueError):
+            AdaptiveSampling(10, key_bits=0)
+
+    def test_exact_below_capacity(self):
+        sketch = AdaptiveSampling(capacity=100, seed=1)
+        sketch.update(distinct_stream(50))
+        assert sketch.depth == 0
+        assert sketch.estimate() == 50.0
+
+    def test_depth_grows_beyond_capacity(self):
+        sketch = AdaptiveSampling(capacity=64, seed=2)
+        sketch.update(distinct_stream(10_000))
+        assert sketch.depth >= 1
+        assert sketch.sample_size <= 64
+
+    def test_duplicates_ignored(self):
+        sketch = AdaptiveSampling(capacity=32, seed=3)
+        sketch.update(duplicated_stream(500, 5_000, seed_or_rng=1))
+        estimate = sketch.estimate()
+        sketch.update(duplicated_stream(500, 5_000, seed_or_rng=2))
+        assert sketch.estimate() == estimate
+
+    def test_accuracy(self):
+        sketch = AdaptiveSampling(capacity=512, seed=4)
+        truth = 30_000
+        sketch.update(distinct_stream(truth))
+        assert abs(sketch.estimate() / truth - 1.0) < 0.25
+
+    def test_memory_accounting(self):
+        assert AdaptiveSampling(capacity=100, key_bits=64).memory_bits() == 6_400
+
+
+class TestDistinctSampling:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DistinctSampling(0)
+
+    def test_exact_below_capacity(self):
+        sketch = DistinctSampling(capacity=100, seed=1)
+        sketch.update(distinct_stream(40))
+        assert sketch.level == 0
+        assert sketch.estimate() == 40.0
+
+    def test_level_grows(self):
+        sketch = DistinctSampling(capacity=64, seed=2)
+        sketch.update(distinct_stream(20_000))
+        assert sketch.level >= 1
+        assert sketch.sample_size <= 64
+
+    def test_sampled_items_are_real_items(self):
+        sketch = DistinctSampling(capacity=32, seed=3)
+        items = list(distinct_stream(500))
+        sketch.update(items)
+        assert set(sketch.sampled_items()).issubset(set(items))
+
+    def test_duplicates_ignored(self):
+        sketch = DistinctSampling(capacity=32, seed=4)
+        sketch.update(["x", "y"] * 500)
+        assert sketch.estimate() == 2.0
+
+    def test_accuracy(self):
+        sketch = DistinctSampling(capacity=512, seed=5)
+        truth = 30_000
+        sketch.update(distinct_stream(truth))
+        assert abs(sketch.estimate() / truth - 1.0) < 0.25
+
+    def test_memory_accounting(self):
+        assert DistinctSampling(capacity=10, key_bits=32).memory_bits() == 320
+
+
+class TestKMV:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            KMinimumValues(1)
+
+    def test_exact_when_underfull(self):
+        sketch = KMinimumValues(k=100, seed=1)
+        sketch.update(distinct_stream(30))
+        assert sketch.estimate() == 30.0
+        assert sketch.sample_size == 30
+
+    def test_duplicates_ignored(self):
+        sketch = KMinimumValues(k=16, seed=2)
+        sketch.update(["a", "b", "c"] * 100)
+        assert sketch.estimate() == 3.0
+
+    def test_accuracy(self):
+        sketch = KMinimumValues(k=512, seed=3)
+        truth = 40_000
+        sketch.update(distinct_stream(truth))
+        assert abs(sketch.estimate() / truth - 1.0) < 0.2
+
+    def test_sample_never_exceeds_k(self):
+        sketch = KMinimumValues(k=32, seed=4)
+        sketch.update(distinct_stream(5_000))
+        assert sketch.sample_size == 32
+
+    def test_merge_estimates_union(self):
+        a = KMinimumValues(k=256, seed=5)
+        b = KMinimumValues(k=256, seed=5)
+        a.update(distinct_stream(5_000))
+        b.update(distinct_stream(5_000, start=2_500))
+        a.merge(b)
+        union_truth = 7_500
+        assert abs(a.estimate() / union_truth - 1.0) < 0.25
+
+    def test_merge_rejects_different_k(self):
+        with pytest.raises(ValueError):
+            KMinimumValues(k=8).merge(KMinimumValues(k=16))
+
+    def test_jaccard_identical_sets(self):
+        a = KMinimumValues(k=128, seed=6)
+        b = KMinimumValues(k=128, seed=6)
+        items = list(distinct_stream(2_000))
+        a.update(items)
+        b.update(items)
+        assert a.jaccard(b) == pytest.approx(1.0)
+
+    def test_jaccard_disjoint_sets(self):
+        a = KMinimumValues(k=128, seed=7)
+        b = KMinimumValues(k=128, seed=7)
+        a.update(distinct_stream(2_000))
+        b.update(distinct_stream(2_000, start=10_000))
+        assert a.jaccard(b) < 0.05
+
+    def test_jaccard_requires_same_k(self):
+        with pytest.raises(ValueError):
+            KMinimumValues(k=8).jaccard(KMinimumValues(k=16))
+
+    def test_memory_accounting(self):
+        assert KMinimumValues(k=10).memory_bits() == 640
+
+
+class TestMorris:
+    def test_validation(self):
+        from repro.sketches.morris import MorrisCounter
+
+        with pytest.raises(ValueError):
+            MorrisCounter(base=1.0)
+
+    def test_counts_events_approximately(self):
+        from repro.sketches.morris import MorrisCounter
+
+        rng = np.random.default_rng(8)
+        estimates = []
+        for _ in range(200):
+            counter = MorrisCounter(base=1.1, rng=rng)
+            counter.add(1_000)
+            estimates.append(counter.estimate())
+        assert abs(float(np.mean(estimates)) / 1_000 - 1.0) < 0.1
+
+    def test_memory_is_tiny(self):
+        from repro.sketches.morris import MorrisCounter
+
+        counter = MorrisCounter(base=2.0, rng=np.random.default_rng(9))
+        counter.add(100_000)
+        assert counter.memory_bits() <= 8
+
+    def test_negative_add_rejected(self):
+        from repro.sketches.morris import MorrisCounter
+
+        with pytest.raises(ValueError):
+            MorrisCounter().add(-1)
+
+    def test_relative_variance_formula(self):
+        from repro.sketches.morris import MorrisCounter
+
+        assert MorrisCounter(base=2.0).theoretical_relative_variance() == 0.5

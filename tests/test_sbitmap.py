@@ -1,0 +1,191 @@
+"""Unit tests for the streaming S-bitmap sketch (Algorithm 2)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.dimensioning import SBitmapDesign
+from repro.core.sbitmap import SBitmap
+from repro.hashing.family import TabulationHashFamily
+from repro.sketches.base import NotMergeableError
+from repro.streams.generators import distinct_stream, duplicated_stream, shuffled
+
+
+@pytest.fixture
+def sketch(small_design) -> SBitmap:
+    return SBitmap(small_design, seed=7)
+
+
+class TestConstruction:
+    def test_from_memory(self):
+        sketch = SBitmap.from_memory(1024, 50_000, seed=1)
+        assert sketch.design.num_bits == 1024
+        assert sketch.design.n_max == 50_000
+
+    def test_from_error(self):
+        sketch = SBitmap.from_error(50_000, 0.05, seed=1)
+        assert sketch.design.rrmse <= 0.05 + 1e-9
+
+    def test_initial_state(self, sketch):
+        assert sketch.fill_count == 0
+        assert sketch.estimate() == 0.0
+        assert sketch.items_seen == 0
+        assert not sketch.saturated
+
+    def test_memory_bits(self, sketch, small_design):
+        assert sketch.memory_bits() == small_design.num_bits
+
+    def test_custom_hash_family(self, small_design):
+        sketch = SBitmap(small_design, hash_family=TabulationHashFamily(3))
+        sketch.update(distinct_stream(100))
+        assert sketch.fill_count > 0
+
+
+class TestUpdateSemantics:
+    def test_add_increments_items_seen(self, sketch):
+        sketch.add("a")
+        sketch.add("a")
+        assert sketch.items_seen == 2
+
+    def test_duplicates_do_not_change_state(self, sketch):
+        for item in ["x", "y", "z"]:
+            sketch.add(item)
+        fill_after_first_pass = sketch.fill_count
+        estimate_after_first_pass = sketch.estimate()
+        for _ in range(50):
+            for item in ["x", "y", "z"]:
+                sketch.add(item)
+        assert sketch.fill_count == fill_after_first_pass
+        assert sketch.estimate() == estimate_after_first_pass
+
+    def test_duplicate_placement_is_irrelevant(self, small_design):
+        # The *order of distinct first-arrivals* determines the state; where
+        # the duplicates land in between must not matter at all (Section 3's
+        # sufficiency argument).
+        distinct_items = list(distinct_stream(400))
+        clean = SBitmap(small_design, seed=3)
+        clean.update(distinct_items)
+        with_duplicates = SBitmap(small_design, seed=3)
+        noisy_stream: list[str] = []
+        for index, item in enumerate(distinct_items):
+            noisy_stream.append(item)
+            # Re-insert a handful of already-seen items after every arrival.
+            noisy_stream.extend(distinct_items[max(0, index - 3) : index + 1])
+        with_duplicates.update(noisy_stream)
+        assert with_duplicates.fill_count == clean.fill_count
+        assert with_duplicates.estimate() == clean.estimate()
+
+    def test_update_equals_repeated_add(self, small_design):
+        items = list(duplicated_stream(200, 600, seed_or_rng=5))
+        bulk = SBitmap(small_design, seed=9)
+        bulk.update(items)
+        one_by_one = SBitmap(small_design, seed=9)
+        for item in items:
+            one_by_one.add(item)
+        assert bulk.fill_count == one_by_one.fill_count
+        assert bulk.items_seen == one_by_one.items_seen
+
+    def test_fill_count_monotone(self, sketch):
+        previous = 0
+        for index in range(500):
+            sketch.add(f"item-{index}")
+            assert sketch.fill_count >= previous
+            previous = sketch.fill_count
+
+    def test_fill_count_never_exceeds_bitmap(self, small_design):
+        sketch = SBitmap(small_design, seed=2)
+        sketch.update(distinct_stream(5 * small_design.n_max))
+        assert sketch.fill_count <= small_design.num_bits
+
+    def test_current_sampling_rate_decreases(self, sketch):
+        initial_rate = sketch.current_sampling_rate()
+        sketch.update(distinct_stream(2_000))
+        assert sketch.current_sampling_rate() <= initial_rate
+
+    def test_reset(self, sketch):
+        sketch.update(distinct_stream(500))
+        sketch.reset()
+        assert sketch.fill_count == 0
+        assert sketch.estimate() == 0.0
+        assert sketch.items_seen == 0
+        assert not sketch.bit_vector.any()
+
+
+class TestAccuracy:
+    def test_estimate_within_design_error(self):
+        # With eps ~ 4%, a single run should land within ~5 sigma of truth.
+        sketch = SBitmap.from_error(n_max=20_000, target_rrmse=0.04, seed=123)
+        truth = 5_000
+        sketch.update(distinct_stream(truth))
+        assert abs(sketch.estimate() / truth - 1.0) < 0.20
+
+    def test_estimate_with_heavy_duplication(self):
+        sketch = SBitmap.from_error(n_max=10_000, target_rrmse=0.05, seed=7)
+        truth = 1_000
+        sketch.update(duplicated_stream(truth, 20_000, seed_or_rng=3))
+        assert abs(sketch.estimate() / truth - 1.0) < 0.25
+
+    def test_small_cardinalities_near_exact(self):
+        # For tiny n the sampling rates are ~1, so the estimate is near-exact.
+        sketch = SBitmap.from_memory(4_000, 2**20, seed=5)
+        sketch.update(distinct_stream(20))
+        assert abs(sketch.estimate() - 20) < 5
+
+    def test_unbiasedness_over_replicates(self, small_design):
+        truth = 2_000
+        estimates = []
+        for seed in range(40):
+            sketch = SBitmap(small_design, seed=seed)
+            sketch.update(distinct_stream(truth, prefix=f"s{seed}"))
+            estimates.append(sketch.estimate())
+        mean_estimate = float(np.mean(estimates))
+        standard_error = small_design.rrmse * truth / np.sqrt(len(estimates))
+        assert abs(mean_estimate - truth) < 5 * standard_error
+
+    def test_saturation_flag_near_n_max(self, small_design):
+        sketch = SBitmap(small_design, seed=1)
+        sketch.update(distinct_stream(3 * small_design.n_max))
+        assert sketch.saturated
+        assert sketch.estimate() <= small_design.n_max * 1.2
+
+
+class TestMergeAndSerialisation:
+    def test_not_mergeable(self, sketch, small_design):
+        other = SBitmap(small_design, seed=7)
+        with pytest.raises(NotMergeableError):
+            sketch.merge(other)
+
+    def test_round_trip_dict(self, small_design):
+        sketch = SBitmap(small_design, seed=11)
+        sketch.update(distinct_stream(750))
+        restored = SBitmap.from_dict(sketch.to_dict())
+        assert restored.fill_count == sketch.fill_count
+        assert restored.estimate() == sketch.estimate()
+        np.testing.assert_array_equal(restored.bit_vector, sketch.bit_vector)
+
+    def test_round_trip_json(self, small_design):
+        sketch = SBitmap(small_design, seed=13)
+        sketch.update(distinct_stream(200))
+        restored = SBitmap.from_json(sketch.to_json())
+        assert restored.estimate() == sketch.estimate()
+
+    def test_restored_sketch_continues_consistently(self, small_design):
+        sketch = SBitmap(small_design, seed=17)
+        items = list(distinct_stream(600))
+        sketch.update(items[:300])
+        restored = SBitmap.from_json(sketch.to_json())
+        sketch.update(items[300:])
+        restored.update(items[300:])
+        assert restored.fill_count == sketch.fill_count
+
+    def test_bit_vector_read_only(self, sketch):
+        with pytest.raises(ValueError):
+            sketch.bit_vector[0] = True
+
+    def test_copy_is_independent(self, sketch):
+        sketch.update(distinct_stream(100))
+        clone = sketch.copy()
+        clone.update(distinct_stream(100, start=100))
+        assert clone.fill_count >= sketch.fill_count
+        assert clone.items_seen != sketch.items_seen

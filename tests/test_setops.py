@@ -1,0 +1,125 @@
+"""Tests for the set-operation helpers over mergeable sketches."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.setops import (
+    intersection_estimate,
+    jaccard_estimate,
+    overlap_matrix,
+    union_estimate,
+)
+from repro.core.sbitmap import SBitmap
+from repro.sketches import HyperLogLog, KMinimumValues, LinearCounting
+from repro.sketches.base import NotMergeableError
+from repro.streams.generators import distinct_stream
+
+
+def _populate(sketch, start: int, count: int):
+    sketch.update(distinct_stream(count, start=start))
+    return sketch
+
+
+class TestUnion:
+    def test_union_of_disjoint_streams(self):
+        left = _populate(HyperLogLog(1_024, seed=1), 0, 5_000)
+        right = _populate(HyperLogLog(1_024, seed=1), 5_000, 5_000)
+        estimate = union_estimate([left, right])
+        assert estimate == pytest.approx(10_000, rel=0.1)
+
+    def test_union_of_overlapping_streams(self):
+        left = _populate(HyperLogLog(1_024, seed=2), 0, 6_000)
+        right = _populate(HyperLogLog(1_024, seed=2), 3_000, 6_000)
+        estimate = union_estimate([left, right])
+        assert estimate == pytest.approx(9_000, rel=0.1)
+
+    def test_union_does_not_mutate_inputs(self):
+        left = _populate(LinearCounting(4_096, seed=3), 0, 1_000)
+        right = _populate(LinearCounting(4_096, seed=3), 500, 1_000)
+        before_left = left.estimate()
+        union_estimate([left, right])
+        assert left.estimate() == before_left
+
+    def test_single_sketch_union_is_its_estimate(self):
+        sketch = _populate(HyperLogLog(512, seed=4), 0, 2_000)
+        assert union_estimate([sketch]) == pytest.approx(sketch.estimate())
+
+    def test_sbitmap_rejected(self):
+        sketch = SBitmap.from_memory(1_024, 10_000, seed=5)
+        with pytest.raises(NotMergeableError):
+            union_estimate([sketch])
+
+    def test_empty_list_rejected(self):
+        with pytest.raises(ValueError):
+            union_estimate([])
+
+
+class TestIntersection:
+    def test_known_overlap(self):
+        left = _populate(HyperLogLog(2_048, seed=6), 0, 8_000)
+        right = _populate(HyperLogLog(2_048, seed=6), 4_000, 8_000)
+        estimate = intersection_estimate(left, right)
+        assert estimate == pytest.approx(4_000, rel=0.35)
+
+    def test_disjoint_streams_near_zero(self):
+        left = _populate(HyperLogLog(2_048, seed=7), 0, 4_000)
+        right = _populate(HyperLogLog(2_048, seed=7), 50_000, 4_000)
+        estimate = intersection_estimate(left, right)
+        assert estimate < 800
+
+    def test_never_negative(self):
+        left = _populate(LinearCounting(8_192, seed=8), 0, 500)
+        right = _populate(LinearCounting(8_192, seed=8), 10_000, 500)
+        assert intersection_estimate(left, right) >= 0.0
+
+
+class TestJaccard:
+    def test_kmv_native_estimator(self):
+        left = KMinimumValues(k=512, seed=9)
+        right = KMinimumValues(k=512, seed=9)
+        left.update(distinct_stream(6_000))
+        right.update(distinct_stream(6_000, start=3_000))
+        # True Jaccard = 3000 / 9000 = 1/3.
+        assert jaccard_estimate(left, right) == pytest.approx(1 / 3, abs=0.08)
+
+    def test_inclusion_exclusion_fallback(self):
+        left = _populate(HyperLogLog(2_048, seed=10), 0, 6_000)
+        right = _populate(HyperLogLog(2_048, seed=10), 3_000, 6_000)
+        assert jaccard_estimate(left, right) == pytest.approx(1 / 3, abs=0.15)
+
+    def test_identical_streams(self):
+        left = _populate(HyperLogLog(1_024, seed=11), 0, 3_000)
+        right = _populate(HyperLogLog(1_024, seed=11), 0, 3_000)
+        assert jaccard_estimate(left, right) == pytest.approx(1.0, abs=0.05)
+
+    def test_empty_sketches(self):
+        assert jaccard_estimate(HyperLogLog(64, seed=1), HyperLogLog(64, seed=1)) == 0.0
+
+
+class TestOverlapMatrix:
+    def test_shape_and_symmetry(self):
+        sketches = [
+            _populate(HyperLogLog(1_024, seed=12), start, 4_000)
+            for start in (0, 2_000, 4_000)
+        ]
+        matrix = overlap_matrix(sketches)
+        assert matrix.shape == (3, 3)
+        np.testing.assert_allclose(matrix, matrix.T)
+
+    def test_diagonal_is_cardinality(self):
+        sketches = [
+            _populate(HyperLogLog(1_024, seed=13), start, 3_000) for start in (0, 10_000)
+        ]
+        matrix = overlap_matrix(sketches)
+        for index, sketch in enumerate(sketches):
+            assert matrix[index, index] == pytest.approx(sketch.estimate())
+
+    def test_adjacent_overlap_larger_than_distant(self):
+        sketches = [
+            _populate(HyperLogLog(2_048, seed=14), start, 4_000)
+            for start in (0, 2_000, 20_000)
+        ]
+        matrix = overlap_matrix(sketches)
+        assert matrix[0, 1] > matrix[0, 2]

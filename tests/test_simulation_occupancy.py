@@ -1,0 +1,131 @@
+"""Unit and statistical tests for the bitmap-occupancy simulators."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.simulation.occupancy_sim import (
+    simulate_linear_counting_estimates,
+    simulate_mr_bitmap_estimates,
+    simulate_occupancy,
+    simulate_virtual_bitmap_estimates,
+)
+
+
+class TestOccupancy:
+    def test_scalar_input_returns_scalar(self, rng):
+        occupied = simulate_occupancy(100, 50, rng)
+        assert np.ndim(occupied) == 0
+        assert 1 <= occupied <= 50
+
+    def test_array_input_shape(self, rng):
+        items = np.array([10, 100, 1_000])
+        occupied = simulate_occupancy(128, items, rng)
+        assert occupied.shape == (3,)
+
+    def test_zero_items(self, rng):
+        assert simulate_occupancy(64, 0, rng) == 0
+
+    def test_bounded_by_items_and_buckets(self, rng):
+        for items in (5, 500, 50_000):
+            occupied = int(simulate_occupancy(256, items, rng))
+            assert occupied <= min(items, 256)
+
+    def test_mean_matches_occupancy_formula(self, rng):
+        # E[occupied] = m (1 - (1 - 1/m)^n).
+        num_buckets, items = 512, 700
+        draws = simulate_occupancy(num_buckets, np.full(800, items), rng)
+        expected = num_buckets * (1.0 - (1.0 - 1.0 / num_buckets) ** items)
+        assert float(np.mean(draws)) == pytest.approx(expected, rel=0.01)
+
+    def test_validation(self, rng):
+        with pytest.raises(ValueError):
+            simulate_occupancy(0, 5, rng)
+        with pytest.raises(ValueError):
+            simulate_occupancy(10, -1, rng)
+
+
+class TestLinearCountingSim:
+    def test_shape(self, rng):
+        estimates = simulate_linear_counting_estimates(256, 100, 15, rng)
+        assert estimates.shape == (15,)
+
+    def test_approximately_unbiased_at_moderate_load(self, rng):
+        truth = 400
+        estimates = simulate_linear_counting_estimates(1_024, truth, 800, rng)
+        assert float(np.mean(estimates)) == pytest.approx(truth, rel=0.02)
+
+    def test_matches_streaming_error_distribution(self, rng):
+        # Cross-validation: streaming linear counting vs the occupancy model.
+        from repro.sketches.linear_counting import LinearCounting
+        from repro.streams.generators import distinct_stream
+
+        truth, bits = 600, 1_024
+        streamed = []
+        for seed in range(40):
+            sketch = LinearCounting(bits, seed=seed)
+            sketch.update(distinct_stream(truth, prefix=f"lc{seed}"))
+            streamed.append(sketch.estimate())
+        simulated = simulate_linear_counting_estimates(bits, truth, 400, rng)
+        assert float(np.mean(streamed)) == pytest.approx(
+            float(np.mean(simulated)), rel=0.03
+        )
+
+    def test_validation(self, rng):
+        with pytest.raises(ValueError):
+            simulate_linear_counting_estimates(128, -1, 5, rng)
+        with pytest.raises(ValueError):
+            simulate_linear_counting_estimates(128, 10, 0, rng)
+
+
+class TestVirtualBitmapSim:
+    def test_shape(self, rng):
+        estimates = simulate_virtual_bitmap_estimates(256, 0.1, 5_000, 12, rng)
+        assert estimates.shape == (12,)
+
+    def test_approximately_unbiased(self, rng):
+        truth = 40_000
+        estimates = simulate_virtual_bitmap_estimates(2_048, 0.05, truth, 500, rng)
+        assert float(np.mean(estimates)) == pytest.approx(truth, rel=0.03)
+
+    def test_rate_validation(self, rng):
+        with pytest.raises(ValueError):
+            simulate_virtual_bitmap_estimates(128, 0.0, 100, 5, rng)
+
+
+class TestMrBitmapSim:
+    def test_shape(self, rng):
+        estimates = simulate_mr_bitmap_estimates([64, 64, 128], 1_000, 9, rng)
+        assert estimates.shape == (9,)
+
+    def test_reasonable_mid_range_accuracy(self, rng):
+        from repro.sketches.mr_bitmap import MultiresolutionBitmap
+
+        sizes = MultiresolutionBitmap.design(8_000, 200_000).component_sizes
+        truth = 20_000
+        estimates = simulate_mr_bitmap_estimates(sizes, truth, 300, rng)
+        rrmse = float(np.sqrt(np.mean((estimates / truth - 1.0) ** 2)))
+        assert rrmse < 0.1
+
+    def test_matches_streaming_error_distribution(self, rng):
+        from repro.sketches.mr_bitmap import MultiresolutionBitmap
+        from repro.streams.generators import distinct_stream
+
+        sizes = [128, 128, 256]
+        truth = 800
+        streamed = []
+        for seed in range(40):
+            sketch = MultiresolutionBitmap(sizes, seed=seed)
+            sketch.update(distinct_stream(truth, prefix=f"mr{seed}"))
+            streamed.append(sketch.estimate())
+        simulated = simulate_mr_bitmap_estimates(sizes, truth, 400, rng)
+        assert float(np.mean(streamed)) == pytest.approx(
+            float(np.mean(simulated)), rel=0.05
+        )
+
+    def test_validation(self, rng):
+        with pytest.raises(ValueError):
+            simulate_mr_bitmap_estimates([], 100, 5, rng)
+        with pytest.raises(ValueError):
+            simulate_mr_bitmap_estimates([64], -1, 5, rng)

@@ -1,0 +1,100 @@
+"""Unit and statistical tests for the LogLog/HLL register simulator."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.simulation.register_sim import (
+    simulate_hyperloglog_estimates,
+    simulate_loglog_estimates,
+    simulate_register_maxima,
+)
+
+
+class TestRegisterMaxima:
+    def test_shape_and_dtype(self, rng):
+        registers = simulate_register_maxima(64, 1_000, 7, rng)
+        assert registers.shape == (7, 64)
+        assert registers.dtype == np.int64
+
+    def test_zero_cardinality_all_zero(self, rng):
+        registers = simulate_register_maxima(32, 0, 5, rng)
+        assert np.all(registers == 0)
+
+    def test_values_within_register_width(self, rng):
+        registers = simulate_register_maxima(16, 10_000, 20, rng, register_width=4)
+        assert registers.max() <= 15
+
+    def test_registers_grow_with_cardinality(self, rng):
+        small = simulate_register_maxima(64, 100, 200, rng)
+        large = simulate_register_maxima(64, 100_000, 200, rng)
+        assert float(large.mean()) > float(small.mean()) + 5
+
+    def test_mean_register_value_matches_theory(self, rng):
+        # For k items in one register, E[max of k Geometric(1/2)] is about
+        # log2(k) + 1.33; with n = m*k items each register sees ~k items.
+        num_registers, per_register = 128, 256
+        registers = simulate_register_maxima(
+            num_registers, num_registers * per_register, 50, rng, register_width=6
+        )
+        assert float(registers.mean()) == pytest.approx(
+            np.log2(per_register) + 1.33, abs=0.6
+        )
+
+    def test_matches_streaming_register_distribution(self, rng):
+        # Cross-validation of the two paths: the distribution of register
+        # values from the simulator must match registers built by actually
+        # hashing n distinct items.
+        from repro.sketches.hyperloglog import HyperLogLog
+        from repro.streams.generators import distinct_stream
+
+        num_registers, truth = 64, 8_000
+        streamed = []
+        for seed in range(30):
+            sketch = HyperLogLog(num_registers, register_width=6, seed=seed)
+            sketch.update(distinct_stream(truth, prefix=f"reg{seed}"))
+            streamed.append(sketch.registers.astype(float))
+        streamed_mean = float(np.mean(streamed))
+        simulated = simulate_register_maxima(
+            num_registers, truth, 30, rng, register_width=6
+        )
+        assert float(simulated.mean()) == pytest.approx(streamed_mean, rel=0.05)
+
+    def test_validation(self, rng):
+        with pytest.raises(ValueError):
+            simulate_register_maxima(1, 10, 5, rng)
+        with pytest.raises(ValueError):
+            simulate_register_maxima(16, -1, 5, rng)
+        with pytest.raises(ValueError):
+            simulate_register_maxima(16, 10, 0, rng)
+
+
+class TestEstimates:
+    def test_shapes(self, rng):
+        assert simulate_loglog_estimates(64, 1_000, 9, rng).shape == (9,)
+        assert simulate_hyperloglog_estimates(64, 1_000, 9, rng).shape == (9,)
+
+    def test_hll_error_constant(self, rng):
+        registers, truth = 1_024, 200_000
+        estimates = simulate_hyperloglog_estimates(registers, truth, 500, rng)
+        rrmse = float(np.sqrt(np.mean((estimates / truth - 1.0) ** 2)))
+        assert rrmse == pytest.approx(1.04 / np.sqrt(registers), rel=0.25)
+
+    def test_loglog_error_constant(self, rng):
+        registers, truth = 1_024, 200_000
+        estimates = simulate_loglog_estimates(registers, truth, 500, rng)
+        rrmse = float(np.sqrt(np.mean((estimates / truth - 1.0) ** 2)))
+        assert rrmse == pytest.approx(1.30 / np.sqrt(registers), rel=0.25)
+
+    def test_hll_small_range_accuracy(self, rng):
+        # With the linear-counting correction, small cardinalities are nearly
+        # exact even with many registers.
+        estimates = simulate_hyperloglog_estimates(1_024, 200, 200, rng)
+        rrmse = float(np.sqrt(np.mean((estimates / 200 - 1.0) ** 2)))
+        assert rrmse < 0.1
+
+    def test_hll_approximately_unbiased(self, rng):
+        truth = 50_000
+        estimates = simulate_hyperloglog_estimates(512, truth, 1_000, rng)
+        assert abs(float(np.mean(estimates)) / truth - 1.0) < 0.01

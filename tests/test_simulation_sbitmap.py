@@ -1,0 +1,126 @@
+"""Unit and statistical tests for the model-level S-bitmap simulator."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.dimensioning import SBitmapDesign
+from repro.core.estimator import SBitmapEstimator
+from repro.simulation.sbitmap_sim import (
+    simulate_fill_counts,
+    simulate_fill_times,
+    simulate_sbitmap_estimates,
+    simulate_sbitmap_sweep,
+)
+
+
+class TestFillTimes:
+    def test_shape(self, small_design, rng):
+        times = simulate_fill_times(small_design, replicates=7, rng=rng)
+        assert times.shape == (7, small_design.max_fill)
+
+    def test_strictly_increasing_per_replicate(self, small_design, rng):
+        times = simulate_fill_times(small_design, replicates=5, rng=rng)
+        assert np.all(np.diff(times, axis=1) >= 1)
+
+    def test_first_fill_geometric_mean(self, small_design, rng):
+        # T_1 ~ Geometric(q_1); with q_1 close to 1 the mean is ~1/q_1.
+        q1 = small_design.fill_rates()[1]
+        times = simulate_fill_times(small_design, replicates=4_000, rng=rng)
+        assert float(np.mean(times[:, 0])) == pytest.approx(1.0 / q1, rel=0.05)
+
+    def test_mean_fill_time_matches_lemma1(self, small_design, rng):
+        # E[T_b] = t_b for a mid-range b.
+        b = small_design.max_fill // 2
+        expected = small_design.expected_fill_times()[b]
+        times = simulate_fill_times(small_design, replicates=2_000, rng=rng)
+        assert float(np.mean(times[:, b - 1])) == pytest.approx(expected, rel=0.02)
+
+    def test_relative_std_matches_theorem2(self, small_design, rng):
+        # sqrt(var(T_b))/E[T_b] = C^{-1/2} independent of b (Theorem 2).
+        times = simulate_fill_times(small_design, replicates=3_000, rng=rng)
+        b = small_design.max_fill - 1
+        relative_std = float(np.std(times[:, b]) / np.mean(times[:, b]))
+        assert relative_std == pytest.approx(
+            small_design.precision**-0.5, rel=0.1
+        )
+
+    def test_validation(self, small_design, rng):
+        with pytest.raises(ValueError):
+            simulate_fill_times(small_design, replicates=0, rng=rng)
+        with pytest.raises(ValueError):
+            simulate_fill_times(small_design, replicates=1, rng=rng, max_fill=0)
+
+
+class TestFillCounts:
+    def test_shape_and_dtype(self, small_design, rng):
+        cards = np.array([10, 100, 1_000])
+        counts = simulate_fill_counts(small_design, cards, replicates=9, rng=rng)
+        assert counts.shape == (9, 3)
+        assert counts.dtype == np.int64
+
+    def test_monotone_in_cardinality(self, small_design, rng):
+        cards = np.array([10, 100, 1_000, 10_000])
+        counts = simulate_fill_counts(small_design, cards, replicates=20, rng=rng)
+        assert np.all(np.diff(counts, axis=1) >= 0)
+
+    def test_zero_cardinality_gives_zero_fill(self, small_design, rng):
+        counts = simulate_fill_counts(small_design, np.array([0]), 5, rng)
+        assert np.all(counts == 0)
+
+    def test_bounded_by_max_fill(self, small_design, rng):
+        counts = simulate_fill_counts(
+            small_design, np.array([100 * small_design.n_max]), 5, rng
+        )
+        assert np.all(counts <= small_design.max_fill)
+
+    def test_chunking_consistency(self, rng):
+        # A design large enough to trigger the replicate chunking must still
+        # produce one row per replicate with sane values.
+        design = SBitmapDesign.from_memory(20_000, 2**20)
+        counts = simulate_fill_counts(design, np.array([1_000]), replicates=3, rng=rng)
+        assert counts.shape == (3, 1)
+        assert np.all(counts > 0)
+
+    def test_validation(self, small_design, rng):
+        with pytest.raises(ValueError):
+            simulate_fill_counts(small_design, np.array([]), 5, rng)
+        with pytest.raises(ValueError):
+            simulate_fill_counts(small_design, np.array([-1]), 5, rng)
+        with pytest.raises(ValueError):
+            simulate_fill_counts(small_design, np.array([10]), 0, rng)
+
+
+class TestEstimates:
+    def test_sweep_shape(self, small_design, rng):
+        cards = np.array([100, 1_000])
+        estimates = simulate_sbitmap_sweep(small_design, cards, 11, rng)
+        assert estimates.shape == (11, 2)
+
+    def test_single_cardinality_helper(self, small_design, rng):
+        estimates = simulate_sbitmap_estimates(small_design, 500, 13, rng)
+        assert estimates.shape == (13,)
+
+    def test_unbiasedness(self, small_design, rng):
+        truth = 2_000
+        estimates = simulate_sbitmap_estimates(small_design, truth, 4_000, rng)
+        standard_error = small_design.rrmse * truth / np.sqrt(estimates.size)
+        assert abs(float(np.mean(estimates)) - truth) < 4 * standard_error
+
+    def test_scale_invariant_rrmse(self, paper_design_4000, rng):
+        # The headline property: RRMSE ~ (C-1)^{-1/2} at widely different n.
+        for truth in (100, 10_000, 500_000):
+            estimates = simulate_sbitmap_estimates(paper_design_4000, truth, 600, rng)
+            rrmse = float(np.sqrt(np.mean((estimates / truth - 1.0) ** 2)))
+            assert rrmse == pytest.approx(paper_design_4000.rrmse, rel=0.15)
+
+    def test_estimates_use_production_estimator(self, small_design, rng):
+        cards = np.array([300])
+        counts = simulate_fill_counts(small_design, cards, 50, np.random.default_rng(1))
+        estimator = SBitmapEstimator(small_design)
+        expected = estimator.estimate_many(counts)
+        estimates = simulate_sbitmap_sweep(
+            small_design, cards, 50, np.random.default_rng(1)
+        )
+        np.testing.assert_allclose(estimates, expected)

@@ -1,0 +1,102 @@
+"""Unit tests for the DistinctCounter interface and the sketch registry."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sketches import available_sketches, create_sketch
+from repro.sketches.base import DistinctCounter, NotMergeableError, register_sketch
+from repro.streams.generators import distinct_stream
+
+EXPECTED_REGISTERED = {
+    "sbitmap",
+    "linear_counting",
+    "virtual_bitmap",
+    "mr_bitmap",
+    "fm",
+    "loglog",
+    "hyperloglog",
+    "adaptive_sampling",
+    "distinct_sampling",
+    "kmv",
+    "exact",
+}
+
+
+class TestRegistry:
+    def test_all_builtins_registered(self):
+        assert EXPECTED_REGISTERED.issubset(set(available_sketches()))
+
+    def test_create_by_name(self):
+        sketch = create_sketch("hyperloglog", memory_bits=2_000, n_max=100_000, seed=3)
+        assert isinstance(sketch, DistinctCounter)
+        assert sketch.memory_bits() <= 2_000
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(KeyError):
+            create_sketch("definitely-not-a-sketch", 1000, 1000)
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(ValueError):
+            register_sketch("sbitmap", lambda m, n, s: None)  # type: ignore[arg-type]
+
+    def test_every_factory_respects_memory_budget(self):
+        budget = 4_096
+        for name in EXPECTED_REGISTERED - {"exact", "adaptive_sampling", "distinct_sampling", "kmv"}:
+            sketch = create_sketch(name, budget, 100_000, seed=1)
+            assert sketch.memory_bits() <= budget, name
+
+    def test_every_registered_sketch_counts_reasonably(self):
+        # Integration smoke test over the registry: every sketch should be in
+        # the right ballpark on an easy instance (2000 distinct, ample memory).
+        truth = 2_000
+        for name in EXPECTED_REGISTERED:
+            sketch = create_sketch(name, 16_000, 50_000, seed=5)
+            sketch.update(distinct_stream(truth, prefix=name))
+            estimate = sketch.estimate()
+            assert 0.5 * truth < estimate < 2.0 * truth, (name, estimate)
+
+
+class TestBaseClassBehaviour:
+    def test_update_calls_add(self):
+        calls = []
+
+        class Recorder(DistinctCounter):
+            name = "recorder"
+
+            def add(self, item):
+                calls.append(item)
+
+            def estimate(self):
+                return float(len(calls))
+
+            def memory_bits(self):
+                return 0
+
+        recorder = Recorder()
+        recorder.update(["a", "b", "c"])
+        assert calls == ["a", "b", "c"]
+        assert recorder.estimate() == 3.0
+
+    def test_default_merge_raises(self):
+        class Minimal(DistinctCounter):
+            name = "minimal"
+
+            def add(self, item):
+                pass
+
+            def estimate(self):
+                return 0.0
+
+            def memory_bits(self):
+                return 0
+
+        with pytest.raises(NotMergeableError):
+            Minimal().merge(Minimal())
+
+    def test_copy_independent(self):
+        sketch = create_sketch("linear_counting", 512, 1_000, seed=2)
+        sketch.update(distinct_stream(100))
+        clone = sketch.copy()
+        clone.update(distinct_stream(100, start=100))
+        assert clone.estimate() >= sketch.estimate()

@@ -1,0 +1,123 @@
+"""Unit tests for the synthetic stream generators."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.streams.generators import (
+    StreamSpec,
+    as_rng,
+    distinct_stream,
+    duplicated_stream,
+    shuffled,
+    zipf_stream,
+)
+
+
+class TestAsRng:
+    def test_accepts_int(self):
+        assert isinstance(as_rng(3), np.random.Generator)
+
+    def test_accepts_none(self):
+        assert isinstance(as_rng(None), np.random.Generator)
+
+    def test_passes_through_generator(self):
+        rng = np.random.default_rng(1)
+        assert as_rng(rng) is rng
+
+    def test_same_seed_same_stream(self):
+        a = as_rng(7).integers(0, 100, size=5)
+        b = as_rng(7).integers(0, 100, size=5)
+        np.testing.assert_array_equal(a, b)
+
+
+class TestDistinctStream:
+    def test_exact_count_no_duplicates(self):
+        items = list(distinct_stream(1_000))
+        assert len(items) == 1_000
+        assert len(set(items)) == 1_000
+
+    def test_prefix_and_start(self):
+        assert list(distinct_stream(2, prefix="x", start=5)) == ["x-5", "x-6"]
+
+    def test_zero(self):
+        assert list(distinct_stream(0)) == []
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            list(distinct_stream(-1))
+
+
+class TestDuplicatedStream:
+    def test_ground_truth_cardinality(self):
+        items = list(duplicated_stream(300, 2_000, seed_or_rng=1))
+        assert len(items) == 2_000
+        assert len(set(items)) == 300
+
+    def test_every_key_appears(self):
+        items = set(duplicated_stream(50, 500, seed_or_rng=2))
+        assert items == {f"item-{i}" for i in range(50)}
+
+    def test_total_equals_distinct_is_a_permutation(self):
+        items = list(duplicated_stream(100, 100, seed_or_rng=3))
+        assert len(set(items)) == 100
+
+    def test_reproducible(self):
+        a = list(duplicated_stream(100, 400, seed_or_rng=4))
+        b = list(duplicated_stream(100, 400, seed_or_rng=4))
+        assert a == b
+
+    def test_invalid_lengths(self):
+        with pytest.raises(ValueError):
+            list(duplicated_stream(100, 50))
+        with pytest.raises(ValueError):
+            list(duplicated_stream(-1, 50))
+
+    def test_empty(self):
+        assert list(duplicated_stream(0, 0)) == []
+
+
+class TestZipfStream:
+    def test_ground_truth_cardinality(self):
+        items = list(zipf_stream(200, 5_000, seed_or_rng=1))
+        assert len(items) == 5_000
+        assert len(set(items)) == 200
+
+    def test_heavy_tail(self):
+        # The most frequent key should be far more common than the median key.
+        from collections import Counter
+
+        counts = Counter(zipf_stream(100, 20_000, exponent=1.3, seed_or_rng=2))
+        frequencies = sorted(counts.values(), reverse=True)
+        assert frequencies[0] > 5 * frequencies[50]
+
+    def test_invalid_exponent(self):
+        with pytest.raises(ValueError):
+            list(zipf_stream(10, 100, exponent=0.0))
+
+    def test_invalid_lengths(self):
+        with pytest.raises(ValueError):
+            list(zipf_stream(100, 10))
+
+
+class TestShuffled:
+    def test_is_permutation(self):
+        items = list(range(100))
+        result = shuffled(items, seed_or_rng=5)
+        assert sorted(result) == items
+
+    def test_reproducible(self):
+        assert shuffled(range(50), seed_or_rng=6) == shuffled(range(50), seed_or_rng=6)
+
+
+class TestStreamSpec:
+    @pytest.mark.parametrize("kind", ["distinct", "duplicated", "zipf"])
+    def test_generates_declared_cardinality(self, kind):
+        spec = StreamSpec(kind=kind, num_distinct=123, total_items=400, seed=1)
+        items = list(spec.generate())
+        assert len(set(items)) == 123
+
+    def test_unknown_kind(self):
+        with pytest.raises(ValueError):
+            list(StreamSpec(kind="nope", num_distinct=10).generate())

@@ -1,0 +1,175 @@
+"""Unit tests for the network-trace substitutes (Section 7 workloads)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.streams.network import (
+    BackboneSnapshotGenerator,
+    FlowRecord,
+    LinkModel,
+    SlammerTraceGenerator,
+    flows_for_interval,
+)
+
+
+class TestFlowRecord:
+    def test_key_identity(self):
+        a = FlowRecord("1.2.3.4", "5.6.7.8", 1234, 80)
+        b = FlowRecord("1.2.3.4", "5.6.7.8", 1234, 80)
+        assert a.key == b.key
+
+    def test_key_differs_on_any_field(self):
+        base = FlowRecord("1.2.3.4", "5.6.7.8", 1234, 80)
+        assert base.key != FlowRecord("1.2.3.4", "5.6.7.8", 1234, 81).key
+
+
+class TestFlowsForInterval:
+    def test_exact_distinct_flow_count(self):
+        keys = list(flows_for_interval(500, seed_or_rng=1))
+        assert len(set(keys)) == 500
+        assert len(keys) >= 500  # duplicates from per-flow packets
+
+    def test_mean_packets_parameter(self):
+        short = list(flows_for_interval(300, seed_or_rng=2, mean_packets_per_flow=1.0))
+        long = list(flows_for_interval(300, seed_or_rng=2, mean_packets_per_flow=5.0))
+        assert len(long) > len(short)
+
+    def test_reproducible(self):
+        a = list(flows_for_interval(100, seed_or_rng=3))
+        b = list(flows_for_interval(100, seed_or_rng=3))
+        assert a == b
+
+    def test_different_intervals_mostly_disjoint(self):
+        a = set(flows_for_interval(200, seed_or_rng=4, interval_id=0))
+        b = set(flows_for_interval(200, seed_or_rng=4, interval_id=1))
+        assert len(a & b) < 0.2 * len(a)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            list(flows_for_interval(-1))
+        with pytest.raises(ValueError):
+            list(flows_for_interval(10, mean_packets_per_flow=0.5))
+
+    def test_empty(self):
+        assert list(flows_for_interval(0)) == []
+
+
+class TestLinkModel:
+    def test_counts_positive_and_correct_length(self):
+        model = LinkModel(name="test", base_log2=14.0)
+        counts = model.minute_counts(120, np.random.default_rng(1))
+        assert counts.shape == (120,)
+        assert np.all(counts >= 1)
+
+    def test_baseline_scale(self):
+        model = LinkModel(name="test", base_log2=15.0, burst_probability=0.0)
+        counts = model.minute_counts(200, np.random.default_rng(2))
+        median = float(np.median(counts))
+        assert 2**14 < median < 2**16
+
+    def test_bursts_create_spikes(self):
+        quiet = LinkModel(name="q", base_log2=14.0, burst_probability=0.0)
+        bursty = LinkModel(name="b", base_log2=14.0, burst_probability=0.2)
+        quiet_counts = quiet.minute_counts(300, np.random.default_rng(3))
+        bursty_counts = bursty.minute_counts(300, np.random.default_rng(3))
+        assert bursty_counts.max() > 2 * quiet_counts.max()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LinkModel(name="x", base_log2=10.0).minute_counts(0, np.random.default_rng(0))
+
+
+class TestSlammerTraceGenerator:
+    def test_two_links_by_default(self):
+        trace = SlammerTraceGenerator(num_minutes=60, seed=1)
+        assert set(trace.link_names()) == {"link0", "link1"}
+
+    def test_true_counts_shapes(self):
+        trace = SlammerTraceGenerator(num_minutes=90, seed=2)
+        counts = trace.true_counts()
+        for link in trace.link_names():
+            assert counts[link].shape == (90,)
+            assert np.all(counts[link] >= 1)
+
+    def test_counts_within_paper_range(self):
+        # Figure 5's y-axis spans roughly 2^14 .. 2^17; the synthetic links
+        # should live in that band (bursts may exceed it).
+        trace = SlammerTraceGenerator(num_minutes=300, seed=3)
+        counts = trace.true_counts()
+        for link in trace.link_names():
+            median = float(np.median(counts[link]))
+            assert 2**13 < median < 2**18
+
+    def test_reproducible(self):
+        a = SlammerTraceGenerator(num_minutes=30, seed=4).true_counts()
+        b = SlammerTraceGenerator(num_minutes=30, seed=4).true_counts()
+        for link in a:
+            np.testing.assert_array_equal(a[link], b[link])
+
+    def test_intervals_streams_match_truth(self):
+        trace = SlammerTraceGenerator(
+            num_minutes=3,
+            seed=5,
+            links=(LinkModel(name="tiny", base_log2=7.0, burst_probability=0.0),),
+        )
+        for _minute, true_count, stream in trace.intervals("tiny"):
+            distinct_flows = len(set(stream))
+            assert distinct_flows == true_count
+
+    def test_unknown_link_rejected(self):
+        trace = SlammerTraceGenerator(num_minutes=10, seed=6)
+        with pytest.raises(KeyError):
+            list(trace.intervals("nope"))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SlammerTraceGenerator(num_minutes=0)
+
+
+class TestBackboneSnapshotGenerator:
+    def test_links_retained_above_minimum(self):
+        snapshot = BackboneSnapshotGenerator(num_links=600, seed=1)
+        counts = snapshot.true_counts()
+        assert np.all(counts >= 10)
+        assert counts.size <= 600
+        # Not too many links should be dropped (the paper drops ~10%).
+        assert counts.size >= 0.7 * 600
+
+    def test_counts_capped_at_max(self):
+        snapshot = BackboneSnapshotGenerator(num_links=600, seed=2, max_flows=10**6)
+        assert snapshot.true_counts().max() <= 10**6
+
+    def test_spans_orders_of_magnitude(self):
+        snapshot = BackboneSnapshotGenerator(num_links=600, seed=3)
+        counts = snapshot.true_counts()
+        assert counts.max() / counts.min() > 100
+
+    def test_quantiles_in_paper_ballpark(self):
+        # Calibration check: each synthetic quantile within a factor ~4 of the
+        # paper's reported value (the paper itself regenerated this data).
+        snapshot = BackboneSnapshotGenerator(num_links=600, seed=0)
+        quantiles = snapshot.quantiles()
+        for synthetic, reported in zip(quantiles, snapshot.PAPER_QUANTILE_VALUES):
+            assert reported / 5 < synthetic < reported * 5
+
+    def test_histogram_shape(self):
+        snapshot = BackboneSnapshotGenerator(num_links=300, seed=4)
+        counts, edges = snapshot.histogram_log2(num_bins=20)
+        assert counts.shape == (20,)
+        assert edges.shape == (21,)
+        assert counts.sum() == snapshot.true_counts().size
+
+    def test_reproducible(self):
+        a = BackboneSnapshotGenerator(num_links=100, seed=5).true_counts()
+        b = BackboneSnapshotGenerator(num_links=100, seed=5).true_counts()
+        np.testing.assert_array_equal(a, b)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BackboneSnapshotGenerator(num_links=0)
+        with pytest.raises(ValueError):
+            BackboneSnapshotGenerator(num_links=10, median_flows=-1)
+        with pytest.raises(ValueError):
+            BackboneSnapshotGenerator(num_links=10, min_flows=100, max_flows=50)

@@ -1,0 +1,61 @@
+"""Unit tests for the plain-text / Markdown table renderers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.tables import format_markdown_table, format_number, format_table
+
+
+class TestFormatNumber:
+    def test_int(self):
+        assert format_number(42) == "42"
+
+    def test_bool_is_not_an_int(self):
+        assert format_number(True) == "True"
+
+    def test_zero(self):
+        assert format_number(0.0) == "0"
+
+    def test_small_float_scientific(self):
+        assert "e" in format_number(1.2e-7)
+
+    def test_large_float_scientific(self):
+        assert "e" in format_number(3.5e9)
+
+    def test_regular_float_trimmed(self):
+        assert format_number(1.500, precision=3) == "1.5"
+
+    def test_string_passthrough(self):
+        assert format_number("hello") == "hello"
+
+
+class TestFormatTable:
+    def test_alignment_and_rows(self):
+        text = format_table(["name", "value"], [["a", 1], ["bbbb", 22]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert lines[0].endswith("value")
+        # All lines share the same width.
+        assert len({len(line) for line in lines}) == 1
+
+    def test_mismatched_row_rejected(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [[1]])
+
+    def test_empty_rows(self):
+        text = format_table(["a"], [])
+        assert len(text.splitlines()) == 2
+
+
+class TestFormatMarkdownTable:
+    def test_structure(self):
+        text = format_markdown_table(["x", "y"], [[1, 2.5]])
+        lines = text.splitlines()
+        assert lines[0] == "| x | y |"
+        assert lines[1] == "| --- | --- |"
+        assert lines[2] == "| 1 | 2.5 |"
+
+    def test_mismatched_row_rejected(self):
+        with pytest.raises(ValueError):
+            format_markdown_table(["a"], [[1, 2]])

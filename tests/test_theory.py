@@ -1,0 +1,135 @@
+"""Unit tests for the closed-form theory module (Sections 5.1 / 6.2)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core import theory
+
+
+class TestRegisterWidth:
+    def test_paper_alpha_values(self):
+        # Paper: 4 bits for 2^8 <= N < 2^16, 5 bits for 2^16 <= N < 2^32.
+        assert theory.register_width_bits(10**3) == 4
+        assert theory.register_width_bits(10**4) == 4
+        assert theory.register_width_bits(10**5) == 5
+        assert theory.register_width_bits(10**6) == 5
+        assert theory.register_width_bits(10**7) == 5
+
+    def test_boundaries(self):
+        assert theory.register_width_bits(2**16) == 5
+        assert theory.register_width_bits(2**16 - 1) == 4
+
+    def test_small_n(self):
+        assert theory.register_width_bits(2) >= 1
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            theory.register_width_bits(1)
+
+
+class TestLogCountingMemory:
+    def test_hll_table2_values(self):
+        # Table 2, Hyper-LogLog column (units of 100 bits).
+        assert theory.hyperloglog_memory_bits(10**3, 0.01) / 100 == pytest.approx(
+            432.6, abs=0.5
+        )
+        assert theory.hyperloglog_memory_bits(10**6, 0.01) / 100 == pytest.approx(
+            540.8, abs=0.5
+        )
+        assert theory.hyperloglog_memory_bits(10**6, 0.03) / 100 == pytest.approx(
+            60.1, abs=0.2
+        )
+        assert theory.hyperloglog_memory_bits(10**7, 0.09) / 100 == pytest.approx(
+            6.7, abs=0.1
+        )
+
+    def test_loglog_needs_more_than_hll(self):
+        # Section 6.2: LogLog requires ~56% more memory than Hyper-LogLog.
+        ratio = theory.loglog_memory_bits(10**6, 0.02) / theory.hyperloglog_memory_bits(
+            10**6, 0.02
+        )
+        assert ratio == pytest.approx((1.30 / 1.04) ** 2, rel=1e-9)
+        assert 1.5 < ratio < 1.62
+
+    def test_register_counts(self):
+        # (1.04/0.01)^2 and (1.30/0.013)^2 up to floating-point rounding of
+        # the ceil at the exact boundary.
+        assert theory.hyperloglog_registers_for_error(0.01) in (10816, 10817)
+        assert theory.loglog_registers_for_error(0.013) in (10000, 10001)
+
+    def test_exact_registers_option(self):
+        exact = theory.hyperloglog_memory_bits(10**6, 0.01, exact_registers=True)
+        smooth = theory.hyperloglog_memory_bits(10**6, 0.01)
+        assert exact >= smooth
+        assert exact - smooth < 10
+
+    def test_invalid_error(self):
+        with pytest.raises(ValueError):
+            theory.hyperloglog_memory_bits(10**6, 0.0)
+        with pytest.raises(ValueError):
+            theory.loglog_memory_bits(10**6, 1.0)
+
+
+class TestSBitmapTheory:
+    def test_sbitmap_rrmse(self):
+        assert theory.sbitmap_rrmse(10001.0) == pytest.approx(0.01, rel=1e-4)
+
+    def test_sbitmap_rrmse_invalid(self):
+        with pytest.raises(ValueError):
+            theory.sbitmap_rrmse(1.0)
+
+    def test_sbitmap_memory_matches_dimensioning(self):
+        from repro.core.dimensioning import memory_for_error
+
+        assert theory.sbitmap_memory_bits(10**5, 0.02) == memory_for_error(10**5, 0.02)
+
+
+class TestComparisons:
+    def test_memory_ratio_table2_consistency(self):
+        # For N = 10^4, eps = 3% the paper's Table 2 gives 48.1 vs 21.9, i.e.
+        # a ratio of ~2.2 (Hyper-LogLog needs ~120% more memory).
+        ratio = theory.memory_ratio_hll_to_sbitmap(10**4, 0.03)
+        assert ratio == pytest.approx(48.1 / 21.9, rel=0.03)
+
+    def test_sbitmap_wins_small_eps(self):
+        assert theory.memory_ratio_hll_to_sbitmap(10**6, 0.01) > 1.0
+
+    def test_hll_wins_large_eps_large_n(self):
+        assert theory.memory_ratio_hll_to_sbitmap(10**7, 0.3) < 1.0
+
+    def test_crossover_error_decreases_with_n(self):
+        assert theory.crossover_error(10**4) > theory.crossover_error(10**7)
+
+    def test_crossover_separates_regimes(self):
+        # Below the crossover S-bitmap wins; far above it Hyper-LogLog wins.
+        # The condition is asymptotic, so the upper check uses a wide margin.
+        n_max = 10**6
+        eps_star = theory.crossover_error(n_max)
+        assert theory.memory_ratio_hll_to_sbitmap(n_max, eps_star / 3) > 1.0
+        assert (
+            theory.memory_ratio_hll_to_sbitmap(n_max, min(0.5, eps_star * 60)) < 1.0
+        )
+
+    def test_crossover_invalid(self):
+        with pytest.raises(ValueError):
+            theory.crossover_error(1)
+
+
+class TestLinearCountingMemory:
+    def test_linear_in_n(self):
+        # Doubling N should roughly double the memory (hence "linear counting").
+        small = theory.linear_counting_memory_bits(10**5, 0.01)
+        large = theory.linear_counting_memory_bits(2 * 10**5, 0.01)
+        assert 1.5 < large / small < 2.5
+
+    def test_much_larger_than_sbitmap(self):
+        assert theory.linear_counting_memory_bits(
+            10**6, 0.01
+        ) > 3 * theory.sbitmap_memory_bits(10**6, 0.01)
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            theory.linear_counting_memory_bits(0, 0.01)

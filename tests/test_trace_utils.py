@@ -1,0 +1,60 @@
+"""Unit tests for the trace-experiment helper (one estimate per interval)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.experiments.trace_utils import TRACE_ALGORITHMS, estimate_each
+
+
+class TestEstimateEach:
+    def test_one_estimate_per_interval(self):
+        counts = np.array([100, 1_000, 10_000])
+        estimates = estimate_each("sbitmap", 4_000, 2**20, counts, seed=1)
+        assert estimates.shape == (3,)
+        assert np.all(estimates > 0)
+
+    def test_all_trace_algorithms_supported(self):
+        counts = np.array([500, 5_000])
+        for algorithm in TRACE_ALGORITHMS:
+            estimates = estimate_each(algorithm, 4_000, 10**6, counts, seed=2)
+            assert estimates.shape == (2,)
+
+    def test_linear_counting_supported(self):
+        estimates = estimate_each("linear_counting", 4_000, 10**4, np.array([500]))
+        assert estimates.shape == (1,)
+
+    def test_estimates_track_truth(self):
+        counts = np.array([200, 2_000, 20_000, 200_000])
+        estimates = estimate_each("sbitmap", 8_000, 10**6, counts, seed=3)
+        relative_errors = np.abs(estimates / counts - 1.0)
+        assert np.all(relative_errors < 0.2)
+
+    def test_reproducible(self):
+        counts = np.array([1_000, 2_000])
+        a = estimate_each("hyperloglog", 4_000, 10**6, counts, seed=4)
+        b = estimate_each("hyperloglog", 4_000, 10**6, counts, seed=4)
+        np.testing.assert_allclose(a, b)
+
+    def test_stream_mode_runs_real_sketches(self):
+        counts = np.array([300, 600])
+        estimates = estimate_each(
+            "sbitmap", 2_048, 10_000, counts, seed=5, mode="stream"
+        )
+        relative_errors = np.abs(estimates / counts - 1.0)
+        assert np.all(relative_errors < 0.4)
+
+    def test_unknown_algorithm(self):
+        with pytest.raises(ValueError):
+            estimate_each("kmv", 1_000, 10_000, np.array([10]))
+
+    def test_invalid_mode(self):
+        with pytest.raises(ValueError):
+            estimate_each("sbitmap", 1_000, 10_000, np.array([10]), mode="nope")
+
+    def test_invalid_counts(self):
+        with pytest.raises(ValueError):
+            estimate_each("sbitmap", 1_000, 10_000, np.array([]))
+        with pytest.raises(ValueError):
+            estimate_each("sbitmap", 1_000, 10_000, np.array([0]))

@@ -1,0 +1,105 @@
+"""Unit tests for the virtual bitmap (sampled linear counting)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.sketches.virtual_bitmap import VirtualBitmap
+from repro.streams.generators import distinct_stream, duplicated_stream
+
+
+class TestConstruction:
+    def test_rate_validation(self):
+        with pytest.raises(ValueError):
+            VirtualBitmap(100, sampling_rate=0.0)
+        with pytest.raises(ValueError):
+            VirtualBitmap(100, sampling_rate=1.5)
+        with pytest.raises(ValueError):
+            VirtualBitmap(0, sampling_rate=0.5)
+
+    def test_for_range_picks_rate_below_one_for_large_n(self):
+        sketch = VirtualBitmap.for_range(1_000, n_max=1_000_000)
+        assert 0.0 < sketch.sampling_rate < 0.01
+
+    def test_for_range_uses_full_rate_for_small_n(self):
+        sketch = VirtualBitmap.for_range(10_000, n_max=1_000)
+        assert sketch.sampling_rate == 1.0
+
+    def test_for_range_validation(self):
+        with pytest.raises(ValueError):
+            VirtualBitmap.for_range(100, n_max=0)
+        with pytest.raises(ValueError):
+            VirtualBitmap.for_range(100, n_max=10, target_load=1.5)
+
+
+class TestBehaviour:
+    def test_rate_one_behaves_like_linear_counting(self):
+        # With sampling rate 1 every distinct item lands in the bitmap, so the
+        # estimate matches plain linear counting up to the (independent)
+        # bucket randomisation of the two sketches.
+        from repro.sketches.linear_counting import LinearCounting
+
+        virtual = VirtualBitmap(512, sampling_rate=1.0, seed=3)
+        plain = LinearCounting(512, seed=3)
+        items = list(distinct_stream(300))
+        virtual.update(items)
+        plain.update(items)
+        assert virtual.estimate() == pytest.approx(plain.estimate(), rel=0.15)
+        assert virtual.estimate() == pytest.approx(300, rel=0.15)
+
+    def test_duplicates_consistently_sampled(self):
+        # An item skipped by sampling must stay skipped; one admitted must
+        # stay admitted -- the hashed sampling decision is deterministic.
+        sketch = VirtualBitmap(256, sampling_rate=0.3, seed=5)
+        sketch.update(["x", "y", "z"])
+        occupancy = sketch.occupied
+        sketch.update(["x", "y", "z"] * 200)
+        assert sketch.occupied == occupancy
+
+    def test_accuracy_with_large_cardinality(self):
+        sketch = VirtualBitmap.for_range(4_000, n_max=200_000, seed=7)
+        truth = 100_000
+        sketch.update(distinct_stream(truth))
+        assert abs(sketch.estimate() / truth - 1.0) < 0.15
+
+    def test_inaccurate_for_tiny_cardinality_with_small_rate(self):
+        # The motivating weakness: one fixed rate cannot cover a wide range.
+        # With rate ~ 1/250 a cardinality of 30 is essentially invisible.
+        sketch = VirtualBitmap.for_range(1_000, n_max=300_000, seed=11)
+        sketch.update(distinct_stream(30))
+        assert sketch.estimate() == 0.0 or abs(sketch.estimate() / 30 - 1.0) > 0.5
+
+    def test_memory_bits(self):
+        assert VirtualBitmap(640, sampling_rate=0.5).memory_bits() == 640
+
+    def test_merge_requires_same_design(self):
+        a = VirtualBitmap(128, sampling_rate=0.5, seed=1)
+        b = VirtualBitmap(128, sampling_rate=0.25, seed=1)
+        with pytest.raises(ValueError):
+            a.merge(b)
+
+    def test_merge_union(self):
+        a = VirtualBitmap(512, sampling_rate=0.8, seed=2)
+        b = VirtualBitmap(512, sampling_rate=0.8, seed=2)
+        union = VirtualBitmap(512, sampling_rate=0.8, seed=2)
+        a.update(distinct_stream(150))
+        b.update(distinct_stream(150, start=100))
+        union.update(distinct_stream(250))
+        a.merge(b)
+        assert a.occupied == union.occupied
+
+    def test_merge_rejects_other_types(self):
+        from repro.sketches.exact import ExactCounter
+
+        with pytest.raises(TypeError):
+            VirtualBitmap(128).merge(ExactCounter())
+
+    def test_estimate_unbiased_over_replicates(self):
+        truth = 20_000
+        estimates = []
+        for seed in range(30):
+            sketch = VirtualBitmap(1_024, sampling_rate=0.05, seed=seed)
+            sketch.update(distinct_stream(truth, prefix=f"v{seed}"))
+            estimates.append(sketch.estimate())
+        assert abs(float(np.mean(estimates)) / truth - 1.0) < 0.08

@@ -1,0 +1,116 @@
+"""Tests for the tumbling / sliding window counters."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sketches.base import NotMergeableError
+from repro.sketches.windowed import SlidingWindowCounter, TumblingWindowCounter
+
+
+class TestTumblingWindow:
+    def test_reports_one_entry_per_interval(self):
+        counter = TumblingWindowCounter(
+            algorithm="sbitmap", memory_bits=2_048, n_max=10_000, seed=1
+        )
+        for interval in range(3):
+            for item in range(200):
+                counter.add(interval, f"i{interval}-{item}")
+        reports = counter.flush()
+        assert [report.interval for report in reports] == [0, 1, 2]
+        for report in reports:
+            assert report.items_processed == 200
+            assert abs(report.estimate / 200 - 1.0) < 0.3
+
+    def test_duplicates_within_interval(self):
+        counter = TumblingWindowCounter(memory_bits=2_048, n_max=10_000, seed=2)
+        for _ in range(50):
+            for item in ("a", "b", "c"):
+                counter.add(0, item)
+        assert counter.current_estimate() == pytest.approx(3, abs=1)
+
+    def test_out_of_order_intervals_rejected(self):
+        counter = TumblingWindowCounter(memory_bits=512, n_max=1_000)
+        counter.add(5, "x")
+        with pytest.raises(ValueError):
+            counter.add(4, "y")
+
+    def test_skipping_intervals_is_allowed(self):
+        counter = TumblingWindowCounter(memory_bits=512, n_max=1_000, seed=3)
+        counter.add(0, "a")
+        counter.add(7, "b")
+        reports = counter.flush()
+        assert [report.interval for report in reports] == [0, 7]
+
+    def test_flush_resets_current(self):
+        counter = TumblingWindowCounter(memory_bits=512, n_max=1_000, seed=4)
+        counter.add(0, "a")
+        counter.flush()
+        assert counter.current_estimate() == 0.0
+
+    def test_empty_flush(self):
+        assert TumblingWindowCounter().flush() == []
+
+    def test_works_with_any_registered_algorithm(self):
+        counter = TumblingWindowCounter(
+            algorithm="hyperloglog", memory_bits=2_048, n_max=10_000, seed=5
+        )
+        for item in range(300):
+            counter.add(0, item)
+        assert abs(counter.current_estimate() / 300 - 1.0) < 0.3
+
+
+class TestSlidingWindow:
+    def test_requires_mergeable_algorithm(self):
+        with pytest.raises(NotMergeableError):
+            SlidingWindowCounter(window=3, algorithm="sbitmap")
+
+    def test_window_of_one_equals_interval_count(self):
+        counter = SlidingWindowCounter(
+            window=1, algorithm="hyperloglog", memory_bits=2_048, n_max=10_000, seed=1
+        )
+        for item in range(400):
+            counter.add(0, f"a{item}")
+        for item in range(100):
+            counter.add(1, f"b{item}")
+        assert counter.estimate(as_of_interval=1) == pytest.approx(100, rel=0.25)
+
+    def test_window_covers_recent_intervals_only(self):
+        counter = SlidingWindowCounter(
+            window=2, algorithm="hyperloglog", memory_bits=4_096, n_max=50_000, seed=2
+        )
+        # Interval 0: 1000 distinct, interval 1: 1000 new, interval 2: 1000 new.
+        for interval in range(3):
+            for item in range(1_000):
+                counter.add(interval, f"{interval}-{item}")
+        # Window of 2 as of interval 2 covers intervals 1 and 2 only.
+        assert counter.estimate(as_of_interval=2) == pytest.approx(2_000, rel=0.15)
+        # As of interval 1 it covers intervals 0 and 1.
+        assert counter.estimate(as_of_interval=1) == pytest.approx(2_000, rel=0.15)
+
+    def test_duplicates_across_intervals_not_double_counted(self):
+        counter = SlidingWindowCounter(
+            window=3, algorithm="hyperloglog", memory_bits=4_096, n_max=10_000, seed=3
+        )
+        for interval in range(3):
+            for item in range(500):
+                counter.add(interval, f"shared-{item}")
+        assert counter.estimate() == pytest.approx(500, rel=0.2)
+
+    def test_empty_estimate(self):
+        counter = SlidingWindowCounter(window=2)
+        assert counter.estimate() == 0.0
+
+    def test_eviction_bounds_memory(self):
+        counter = SlidingWindowCounter(
+            window=2, algorithm="linear_counting", memory_bits=256, n_max=1_000, seed=4
+        )
+        for interval in range(50):
+            counter.add(interval, f"x{interval}")
+        tracked = counter.intervals_tracked()
+        assert len(tracked) <= 4 * 2 + 1
+        assert counter.memory_bits_total() <= 256 * len(tracked)
+
+    def test_invalid_window(self):
+        with pytest.raises(ValueError):
+            SlidingWindowCounter(window=0)
