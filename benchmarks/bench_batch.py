@@ -1,0 +1,107 @@
+"""Batch-ingestion benchmarks and the ``BENCH_throughput.json`` artifact.
+
+Two layers:
+
+* per-sketch/per-mode micro-benchmarks (pytest-benchmark) measuring the
+  scalar ``update`` path against the vectorised ``update_batch`` path on the
+  same materialised integer-key stream, and
+* one artifact-emitting pass through :mod:`run_bench` that writes
+  ``BENCH_throughput.json`` at the repository root, so every benchmark run
+  refreshes the tracked items/sec numbers.
+
+Run with::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_batch.py
+
+The reproduction target is the *ratio* between the modes (the paper's
+Section 3 argues S-bitmap's per-item cost matches the cheapest sketches;
+the batch engine is what lets a pure-Python reproduction demonstrate that at
+scale), not the absolute pure-Python numbers.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+import run_bench
+from repro.sketches import create_sketch
+from repro.streams.generators import duplicated_stream
+
+MEMORY_BITS = 8_000
+N_MAX = 1_000_000
+STREAM_DISTINCT = 25_000
+STREAM_TOTAL = 100_000
+CHUNK_SIZE = 1 << 14
+
+ALGORITHMS = run_bench.DEFAULT_ALGORITHMS
+
+
+@pytest.fixture(scope="module")
+def key_chunks() -> list[np.ndarray]:
+    return [
+        chunk.copy()
+        for chunk in duplicated_stream(
+            STREAM_DISTINCT,
+            STREAM_TOTAL,
+            seed_or_rng=7,
+            as_array=True,
+            chunk_size=CHUNK_SIZE,
+        )
+    ]
+
+
+@pytest.fixture(scope="module")
+def key_list(key_chunks) -> list[int]:
+    return np.concatenate(key_chunks).tolist()
+
+
+@pytest.mark.parametrize("algorithm", ALGORITHMS)
+def test_scalar_ingestion(benchmark, key_list, algorithm):
+    """Baseline: interpreted per-item ``update`` over the key stream."""
+
+    def run() -> float:
+        sketch = create_sketch(algorithm, MEMORY_BITS, N_MAX, seed=1)
+        sketch.update(key_list)
+        return sketch.estimate()
+
+    estimate = benchmark(run)
+    assert 0.5 * STREAM_DISTINCT < estimate < 2.0 * STREAM_DISTINCT
+    benchmark.extra_info["items"] = STREAM_TOTAL
+    benchmark.extra_info["mode"] = "scalar"
+
+
+@pytest.mark.parametrize("algorithm", ALGORITHMS)
+def test_batch_ingestion(benchmark, key_chunks, key_list, algorithm):
+    """Vectorised ``update_batch`` over the same stream, chunk by chunk.
+
+    Also asserts state equivalence against the scalar path on every round:
+    the speedup is only meaningful if the two paths agree bit-for-bit.
+    """
+
+    def run() -> float:
+        sketch = create_sketch(algorithm, MEMORY_BITS, N_MAX, seed=1)
+        for chunk in key_chunks:
+            sketch.update_batch(chunk)
+        return sketch.estimate()
+
+    estimate = benchmark(run)
+    reference = create_sketch(algorithm, MEMORY_BITS, N_MAX, seed=1)
+    reference.update(key_list)
+    assert estimate == reference.estimate()
+    benchmark.extra_info["items"] = STREAM_TOTAL
+    benchmark.extra_info["mode"] = "batch"
+
+
+def test_emit_throughput_artifact(benchmark):
+    """Refresh ``BENCH_throughput.json`` at the full tracked scale (1M items).
+
+    Runs the same suite as ``python benchmarks/run_bench.py`` so every
+    benchmark invocation rewrites the repo-root artifact with numbers at the
+    scale it documents -- never a reduced-size stand-in.
+    """
+    payload = benchmark.pedantic(run_bench.run_suite, rounds=1, iterations=1)
+    run_bench.write_artifact(payload, run_bench.DEFAULT_ARTIFACT)
+    for algorithm, row in payload["results"].items():
+        benchmark.extra_info[algorithm] = round(row["speedup"], 2)
+        assert row["speedup"] > 1.0, f"{algorithm}: batch slower than scalar"

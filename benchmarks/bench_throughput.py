@@ -7,10 +7,17 @@ These benchmarks measure the streaming update throughput and the query cost
 of every sketch under identical conditions (same memory budget, same stream),
 so the relative ordering -- not the absolute pure-Python numbers -- is the
 reproduction target.
+
+``test_update_throughput`` is parametrized over the ingestion mode: the
+``scalar`` rows time the interpreted per-item ``update`` path, the ``batch``
+rows time the vectorised ``update_batch`` path on the same keys (see
+``bench_batch.py`` for the dedicated batch suite and the
+``BENCH_throughput.json`` artifact).
 """
 
 from __future__ import annotations
 
+import numpy as np
 import pytest
 
 from repro.sketches import create_sketch
@@ -22,6 +29,7 @@ STREAM_DISTINCT = 2_000
 STREAM_TOTAL = 6_000
 
 ALGORITHMS = ("sbitmap", "hyperloglog", "loglog", "mr_bitmap", "linear_counting")
+MODES = ("scalar", "batch")
 
 
 @pytest.fixture(scope="module")
@@ -29,18 +37,38 @@ def stream() -> list[str]:
     return list(duplicated_stream(STREAM_DISTINCT, STREAM_TOTAL, seed_or_rng=7))
 
 
+@pytest.fixture(scope="module")
+def key_array() -> np.ndarray:
+    chunks = list(
+        duplicated_stream(
+            STREAM_DISTINCT, STREAM_TOTAL, seed_or_rng=7, as_array=True
+        )
+    )
+    return np.concatenate(chunks)
+
+
+@pytest.mark.parametrize("mode", MODES)
 @pytest.mark.parametrize("algorithm", ALGORITHMS)
-def test_update_throughput(benchmark, stream, algorithm):
-    """Items-per-second streaming update cost for each sketch."""
+def test_update_throughput(benchmark, key_array, algorithm, mode):
+    """Items-per-second streaming ingestion cost for each sketch and mode.
+
+    Both modes consume the same integer-key stream (materialised once), so
+    the rows differ only in the ingestion path.
+    """
+    keys = key_array.tolist() if mode == "scalar" else key_array
 
     def run() -> float:
         sketch = create_sketch(algorithm, MEMORY_BITS, N_MAX, seed=1)
-        sketch.update(stream)
+        if mode == "scalar":
+            sketch.update(keys)
+        else:
+            sketch.update_batch(keys)
         return sketch.estimate()
 
     estimate = benchmark(run)
     assert 0.5 * STREAM_DISTINCT < estimate < 2.0 * STREAM_DISTINCT
-    benchmark.extra_info["items"] = len(stream)
+    benchmark.extra_info["items"] = int(key_array.size)
+    benchmark.extra_info["mode"] = mode
 
 
 @pytest.mark.parametrize("algorithm", ALGORITHMS)

@@ -1,0 +1,186 @@
+"""Non-interactive throughput suite: scalar vs batch ingestion per sketch.
+
+Measures items/sec of ``DistinctCounter.update`` (the interpreted per-item
+path) against ``DistinctCounter.update_batch`` (the vectorised path of this
+library's batch ingestion engine) on an identical integer-key stream, and
+writes the results as a ``BENCH_throughput.json`` artifact so the performance
+trajectory is tracked across PRs instead of living in anecdotes.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/run_bench.py                 # full run, 1M items
+    PYTHONPATH=src python benchmarks/run_bench.py --items 100000  # quicker
+    PYTHONPATH=src python benchmarks/run_bench.py --output /tmp/bench.json
+
+The module is import-safe (no work at import time) so the tier-1 test-suite
+smoke-invokes :func:`run_suite` with small sizes to keep the artifact
+generation from rotting.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+if str(REPO_ROOT / "src") not in sys.path:
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+
+import numpy as np
+
+from repro import __version__
+from repro.sketches import create_sketch
+from repro.streams.generators import DEFAULT_CHUNK_SIZE, duplicated_stream
+
+#: Sketches measured by default: the bitmap family the paper's Section 3
+#: cost argument is about, plus the log-family baselines and KMV.
+DEFAULT_ALGORITHMS = (
+    "sbitmap",
+    "linear_counting",
+    "virtual_bitmap",
+    "mr_bitmap",
+    "fm",
+    "loglog",
+    "hyperloglog",
+    "kmv",
+)
+
+DEFAULT_ARTIFACT = REPO_ROOT / "BENCH_throughput.json"
+
+
+def _ingest_scalar(sketch, items: list[int]) -> float:
+    start = time.perf_counter()
+    sketch.update(items)
+    return time.perf_counter() - start
+
+
+def _ingest_batch(sketch, chunks: list[np.ndarray]) -> float:
+    start = time.perf_counter()
+    for chunk in chunks:
+        sketch.update_batch(chunk)
+    return time.perf_counter() - start
+
+
+def run_suite(
+    algorithms: tuple[str, ...] = DEFAULT_ALGORITHMS,
+    num_items: int = 1_000_000,
+    num_distinct: int | None = None,
+    memory_bits: int = 8_000,
+    n_max: int = 1_000_000,
+    chunk_size: int = DEFAULT_CHUNK_SIZE,
+    seed: int = 7,
+) -> dict:
+    """Measure scalar vs batch ingestion throughput for each algorithm.
+
+    Both modes consume the *same* integer-key stream (the array-native mode
+    of :func:`~repro.streams.generators.duplicated_stream`, materialised once
+    up front), so the comparison isolates ingestion cost from stream
+    generation and key formatting.  Returns the JSON-serialisable payload
+    that :func:`write_artifact` persists.
+    """
+    if num_distinct is None:
+        num_distinct = max(1, num_items // 4)
+    chunks = [
+        chunk.copy()
+        for chunk in duplicated_stream(
+            num_distinct,
+            num_items,
+            seed_or_rng=seed,
+            as_array=True,
+            chunk_size=chunk_size,
+        )
+    ]
+    scalar_items = np.concatenate(chunks).tolist()
+    results = {}
+    for algorithm in algorithms:
+        scalar_sketch = create_sketch(algorithm, memory_bits, n_max, seed=seed)
+        scalar_seconds = _ingest_scalar(scalar_sketch, scalar_items)
+        batch_sketch = create_sketch(algorithm, memory_bits, n_max, seed=seed)
+        batch_seconds = _ingest_batch(batch_sketch, chunks)
+        if scalar_sketch.estimate() != batch_sketch.estimate():
+            raise AssertionError(
+                f"{algorithm}: scalar and batch ingestion disagree "
+                f"({scalar_sketch.estimate()} vs {batch_sketch.estimate()})"
+            )
+        results[algorithm] = {
+            "scalar": {
+                "seconds": scalar_seconds,
+                "items_per_sec": num_items / scalar_seconds,
+            },
+            "batch": {
+                "seconds": batch_seconds,
+                "items_per_sec": num_items / batch_seconds,
+            },
+            "speedup": scalar_seconds / batch_seconds,
+            "estimate": batch_sketch.estimate(),
+        }
+    return {
+        "suite": "batch_ingestion_throughput",
+        "version": __version__,
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "config": {
+            "num_items": num_items,
+            "num_distinct": num_distinct,
+            "memory_bits": memory_bits,
+            "n_max": n_max,
+            "chunk_size": chunk_size,
+            "seed": seed,
+        },
+        "results": results,
+    }
+
+
+def write_artifact(payload: dict, output: Path | str = DEFAULT_ARTIFACT) -> Path:
+    """Write the suite payload as pretty-printed JSON and return the path."""
+    output = Path(output)
+    output.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return output
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--items", type=int, default=1_000_000)
+    parser.add_argument(
+        "--distinct", type=int, default=None, help="default: items // 4"
+    )
+    parser.add_argument("--memory-bits", type=int, default=8_000)
+    parser.add_argument("--n-max", type=int, default=1_000_000)
+    parser.add_argument("--chunk-size", type=int, default=DEFAULT_CHUNK_SIZE)
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument(
+        "--algorithms",
+        nargs="+",
+        default=list(DEFAULT_ALGORITHMS),
+        help=f"default: {' '.join(DEFAULT_ALGORITHMS)}",
+    )
+    parser.add_argument("--output", type=Path, default=DEFAULT_ARTIFACT)
+    args = parser.parse_args(argv)
+
+    payload = run_suite(
+        algorithms=tuple(args.algorithms),
+        num_items=args.items,
+        num_distinct=args.distinct,
+        memory_bits=args.memory_bits,
+        n_max=args.n_max,
+        chunk_size=args.chunk_size,
+        seed=args.seed,
+    )
+    path = write_artifact(payload, args.output)
+    width = max(len(name) for name in payload["results"])
+    print(f"wrote {path}")
+    for name, row in payload["results"].items():
+        print(
+            f"{name:<{width}}  scalar {row['scalar']['items_per_sec']:>12,.0f}/s"
+            f"  batch {row['batch']['items_per_sec']:>12,.0f}/s"
+            f"  speedup {row['speedup']:>7.1f}x"
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

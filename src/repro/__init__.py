@@ -13,6 +13,35 @@ Quickstart
 >>> round(sketch.estimate() / 50_000, 1)
 1.0
 
+Performance & batch ingestion
+-----------------------------
+Every sketch also exposes ``update_batch(chunk)``, a vectorised ingestion
+path that hashes a whole chunk with one NumPy call and scatters it into the
+summary with array kernels -- 20-100x faster than per-item ``update`` in
+pure Python, with *bit-identical* resulting state (enforced by the
+test-suite).  Chunks may be any iterable of items or, fastest, ``uint64``
+key arrays; the stream generators in :mod:`repro.streams.generators` emit
+those directly with ``as_array=True`` (or ``StreamSpec.generate_arrays``),
+skipping per-item key formatting altogether:
+
+>>> import numpy as np
+>>> from repro import SBitmap
+>>> from repro.streams.generators import duplicated_stream
+>>> sketch = SBitmap.from_error(n_max=1_000_000, target_rrmse=0.01, seed=1)
+>>> for chunk in duplicated_stream(50_000, 200_000, seed_or_rng=7,
+...                                as_array=True):
+...     sketch.update_batch(chunk)
+>>> round(sketch.estimate() / 50_000, 1)
+1.0
+
+The hashing substrate behind this lives in :mod:`repro.hashing.arrays`
+(``splitmix64_array``, ``murmur_finalize_array``, ``keys_to_int_array``) and
+``HashFamily.hash64_array``.  ``benchmarks/run_bench.py`` measures the
+scalar/batch throughput of every sketch and records it in the
+``BENCH_throughput.json`` artifact at the repository root;
+``examples/batch_throughput.py`` walks through the array-native pipeline end
+to end.
+
 Package layout
 --------------
 * :mod:`repro.core` -- the S-bitmap itself (sketch, dimensioning, estimator,

@@ -106,11 +106,16 @@ def summarize_errors(estimates: np.ndarray, truth: float) -> ErrorSummary:
     if estimates.ndim != 1 or estimates.size == 0:
         raise ValueError("estimates must be a non-empty 1-D array")
     errors = relative_errors(estimates, truth)
+    l1 = float(np.mean(np.abs(errors)))
+    # The RMS dominates the mean absolute error mathematically (Cauchy-
+    # Schwarz), but float rounding can leave it a few ULPs below l1 when all
+    # errors coincide; clamp so the invariant l2 >= l1 holds exactly.
+    l2 = max(float(np.sqrt(np.mean(errors**2))), l1)
     return ErrorSummary(
         truth=float(truth),
         replicates=int(estimates.size),
-        l1=float(np.mean(np.abs(errors))),
-        l2=float(np.sqrt(np.mean(errors**2))),
+        l1=l1,
+        l2=l2,
         q99=float(np.quantile(np.abs(errors), 0.99)),
         bias=float(np.mean(errors)),
     )

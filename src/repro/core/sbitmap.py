@@ -23,6 +23,7 @@ Two constructors cover the two dimensioning directions of Section 5:
 from __future__ import annotations
 
 import json
+import math
 from typing import Iterable
 
 import numpy as np
@@ -116,7 +117,11 @@ class SBitmap(DistinctCounter):
         self._items_seen += 1
         value = self._hash.hash64(item)
         bucket = (value >> 32) % self.design.num_bits
-        if self._bits[bucket]:
+        if self._bits[bucket] or self._fill_count >= self.design.num_bits:
+            # The second clause guards the rate-table lookup below: at
+            # fill == m there is no p_{m+1}, so no further admission is
+            # possible even if the bitmap and the counter have been driven
+            # out of sync (e.g. a hand-edited snapshot).
             return
         sample_variate = (value & 0xFFFFFFFF) * 2.0**-32
         if sample_variate < self._sampling_rates[self._fill_count + 1]:
@@ -138,13 +143,80 @@ class SBitmap(DistinctCounter):
             seen += 1
             value = hash64(item)
             bucket = (value >> 32) % num_bits
-            if bits[bucket]:
+            if bits[bucket] or fill >= num_bits:
                 continue
             if (value & 0xFFFFFFFF) * scale < rates[fill + 1]:
                 bits[bucket] = True
                 fill += 1
         self._fill_count = fill
         self._items_seen = seen
+
+    def update_batch(self, items: "np.ndarray | Iterable[object]") -> None:
+        """Vectorised bulk ingestion (state-identical to :meth:`update`).
+
+        The whole chunk is hashed with one ``hash64_array`` call and two
+        vectorised filters cut the chunk down to the items that could still
+        change the state:
+
+        * the bucket-occupied filter (``self._bits[buckets]`` gather) drops
+          items whose bucket was already set when the chunk arrived, exactly
+          like Algorithm 2's duplicate skip, and
+        * the rate filter drops items whose sampling variate is at least the
+          largest admission rate still reachable: rates are non-increasing in
+          the fill level (Lemma 1) and the fill level only grows, so such an
+          item would be rejected at every fill level this chunk can reach.
+          Skipping it is a no-op in the sequential semantics.
+
+        The short interpreted admission loop then visits only the surviving
+        candidates, re-checking occupancy and using the *current* fill level
+        for each admission -- which preserves Algorithm 2 exactly, because
+        the fill level evolves within a chunk only at those candidates.
+        """
+        values = self._hash.hash64_array(items)
+        count = int(values.size)
+        if count == 0:
+            return
+        self._items_seen += count
+        num_bits = self.design.num_bits
+        fill = self._fill_count
+        if fill >= num_bits:
+            return
+        buckets = (values >> np.uint64(32)) % np.uint64(num_bits)
+        buckets = buckets.astype(np.intp)
+        candidates = ~self._bits[buckets]
+        if not candidates.any():
+            return
+        variates = (values & np.uint64(0xFFFFFFFF)).astype(np.float64) * 2.0**-32
+        rates = self._sampling_rates
+        max_reachable_rate = float(np.nanmax(rates[fill + 1 :]))
+        candidates &= variates < max_reachable_rate
+        if not candidates.any():
+            return
+        candidate_buckets = buckets[candidates]
+        candidate_variates = variates[candidates]
+        bits = self._bits
+        # Process candidates in stream-order blocks, re-tightening the rate
+        # filter between blocks: every admission lowers the reachable rates,
+        # so re-filtering the remaining tail against the current maximum keeps
+        # shrinking the interpreted loop while admissions stay exact.
+        block_size = 1024
+        total = candidate_buckets.shape[0]
+        start = 0
+        while start < total and fill < num_bits:
+            stop = min(start + block_size, total)
+            threshold = float(np.nanmax(rates[fill + 1 :]))
+            block = candidate_variates[start:stop] < threshold
+            for bucket, variate in zip(
+                candidate_buckets[start:stop][block].tolist(),
+                candidate_variates[start:stop][block].tolist(),
+            ):
+                if bits[bucket] or fill >= num_bits:
+                    continue
+                if variate < rates[fill + 1]:
+                    bits[bucket] = True
+                    fill += 1
+            start = stop
+        self._fill_count = fill
 
     def estimate(self) -> float:
         """Current cardinality estimate ``t_B`` (equation (2) with (8))."""
@@ -201,7 +273,14 @@ class SBitmap(DistinctCounter):
     # ------------------------------------------------------------------ #
 
     def to_dict(self) -> dict:
-        """JSON-serialisable snapshot of configuration and state."""
+        """JSON-serialisable snapshot of configuration and state.
+
+        Snapshots are restorable for designs on the equation-(7)
+        dimensioning rail (:meth:`from_memory` / :meth:`from_error`, i.e.
+        every design this library builds); :meth:`from_dict` validates the
+        ``(num_bits, n_max, precision)`` triple against equation (7) and
+        rejects hand-built designs with an unrelated precision constant.
+        """
         return {
             "name": self.name,
             "num_bits": self.design.num_bits,
@@ -215,17 +294,43 @@ class SBitmap(DistinctCounter):
 
     @classmethod
     def from_dict(cls, payload: dict) -> "SBitmap":
-        """Rebuild a sketch from :meth:`to_dict` output."""
-        design = SBitmapDesign(
-            num_bits=int(payload["num_bits"]),
-            n_max=int(payload["n_max"]),
-            precision=float(payload["precision"]),
-        )
+        """Rebuild a sketch from :meth:`to_dict` output.
+
+        The payload is validated before any state is restored: the serialized
+        ``precision`` must solve equation (7) for the serialized
+        ``(num_bits, n_max)`` pair (a mismatched triple would silently build
+        rate tables inconsistent with the state that produced the bitmap),
+        and ``fill_count`` must equal the popcount of the serialized bitmap.
+        Designs constructed by hand with a precision constant off the
+        equation-(7) rail are intentionally not restorable -- corruption of a
+        library-produced payload is indistinguishable from such a design.
+        """
+        from repro.core.dimensioning import solve_precision_constant
+
+        num_bits = int(payload["num_bits"])
+        n_max = int(payload["n_max"])
+        precision = float(payload["precision"])
+        expected = solve_precision_constant(num_bits, n_max)
+        if not math.isclose(precision, expected, rel_tol=1e-6):
+            raise ValueError(
+                f"inconsistent S-bitmap payload: precision {precision!r} does "
+                f"not match the design constant {expected!r} implied by "
+                f"num_bits={num_bits}, n_max={n_max} (equation (7)); the "
+                "payload was produced by a different design or corrupted"
+            )
+        design = SBitmapDesign(num_bits=num_bits, n_max=n_max, precision=precision)
         sketch = cls(design, seed=int(payload.get("seed", 0)))
         packed = np.frombuffer(bytes.fromhex(payload["bits"]), dtype=np.uint8)
         bits = np.unpackbits(packed)[: design.num_bits].astype(bool)
+        fill_count = int(payload["fill_count"])
+        occupied = int(np.count_nonzero(bits))
+        if fill_count != occupied:
+            raise ValueError(
+                f"inconsistent S-bitmap payload: fill_count={fill_count} but "
+                f"the serialized bitmap has {occupied} set bits"
+            )
         sketch._bits = bits
-        sketch._fill_count = int(payload["fill_count"])
+        sketch._fill_count = fill_count
         sketch._items_seen = int(payload.get("items_seen", 0))
         return sketch
 

@@ -8,6 +8,9 @@ the sampling decision.  This package provides:
 * :mod:`repro.hashing.mixers` -- 64-bit integer mixers (splitmix64 and a
   Murmur-style finaliser) plus stable conversion of arbitrary Python objects
   into 64-bit keys.
+* :mod:`repro.hashing.arrays` -- NumPy array variants of the mixers
+  (``splitmix64_array``, ``murmur_finalize_array``, ``keys_to_int_array``,
+  ``rho_array``) powering the ``hash64_array`` batch-ingestion path.
 * :mod:`repro.hashing.universal` -- the classical Carter--Wegman universal
   hash family ``h(x) = ((a x + b) mod p) mod m`` described in the paper's
   footnote 1.
@@ -19,6 +22,12 @@ the sampling decision.  This package provides:
   convenience views (bucket index, uniform fraction, bit fields).
 """
 
+from repro.hashing.arrays import (
+    keys_to_int_array,
+    murmur_finalize_array,
+    rho_array,
+    splitmix64_array,
+)
 from repro.hashing.bits import (
     bit_field,
     high_bits,
@@ -47,12 +56,16 @@ __all__ = [
     "high_bits",
     "is_prime",
     "key_to_int",
+    "keys_to_int_array",
     "low_bits",
     "murmur_finalize",
+    "murmur_finalize_array",
     "next_prime",
     "reverse_bits64",
     "rho",
+    "rho_array",
     "rho_from_bits",
     "splitmix64",
+    "splitmix64_array",
     "splitmix64_stream",
 ]

@@ -1,0 +1,98 @@
+"""NumPy array variants of the 64-bit mixers (the batch-ingestion hot path).
+
+The scalar pipeline in :mod:`repro.hashing.mixers` costs one interpreted
+function call per item, which dominates the per-item update cost of every
+sketch.  This module re-implements the same finalisers over ``uint64``
+ndarrays so a whole chunk of keys is mixed by a handful of NumPy kernels:
+
+* :func:`splitmix64_array` / :func:`murmur_finalize_array` -- bit-exact array
+  twins of :func:`~repro.hashing.mixers.splitmix64` and
+  :func:`~repro.hashing.mixers.murmur_finalize` (``hash64_array`` parity with
+  the scalar path is asserted by the test-suite),
+* :func:`keys_to_int_array` -- canonicalise a chunk of stream items into a
+  ``uint64`` key array; integer ndarrays take a zero-copy-ish cast fast path,
+  anything else falls back to :func:`~repro.hashing.mixers.key_to_int` per
+  item,
+* :func:`rho_array` -- vectorised position-of-leftmost-1-bit statistic, the
+  array twin of :func:`~repro.hashing.bits.rho`.
+
+All arithmetic stays in ``uint64`` where C-style modular wrap-around matches
+the ``& MASK64`` discipline of the scalar code exactly.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+import numpy as np
+
+from repro.hashing.mixers import MASK64, key_to_int
+
+__all__ = [
+    "keys_to_int_array",
+    "murmur_finalize_array",
+    "rho_array",
+    "splitmix64_array",
+]
+
+_U32_MASK = np.uint64(0xFFFFFFFF)
+
+
+def splitmix64_array(values: np.ndarray) -> np.ndarray:
+    """Vectorised splitmix64 finaliser over a ``uint64`` array.
+
+    Bit-exact with :func:`repro.hashing.mixers.splitmix64` applied
+    element-wise: ``uint64`` multiplication and addition wrap modulo ``2^64``
+    just like the scalar code's ``& MASK64`` masking.
+    """
+    z = np.asarray(values, dtype=np.uint64) + np.uint64(0x9E3779B97F4A7C15)
+    z = (z ^ (z >> np.uint64(30))) * np.uint64(0xBF58476D1CE4E5B9)
+    z = (z ^ (z >> np.uint64(27))) * np.uint64(0x94D049BB133111EB)
+    return z ^ (z >> np.uint64(31))
+
+
+def murmur_finalize_array(values: np.ndarray) -> np.ndarray:
+    """Vectorised MurmurHash3 fmix64 over a ``uint64`` array (bit-exact)."""
+    z = np.asarray(values, dtype=np.uint64)
+    z = (z ^ (z >> np.uint64(33))) * np.uint64(0xFF51AFD7ED558CCD)
+    z = (z ^ (z >> np.uint64(33))) * np.uint64(0xC4CEB9FE1A85EC53)
+    return z ^ (z >> np.uint64(33))
+
+
+def keys_to_int_array(items: np.ndarray | Iterable[object]) -> np.ndarray:
+    """Canonicalise a chunk of stream items into a ``uint64`` key array.
+
+    Integer ndarrays (the array-native stream mode) are cast directly:
+    ``astype(uint64)`` reduces signed values modulo ``2^64``, matching
+    ``key_to_int(int) = item & MASK64``.  Boolean arrays and arbitrary item
+    iterables fall back to the scalar :func:`~repro.hashing.mixers.key_to_int`
+    per element, so mixed-type chunks stay consistent with the scalar path.
+    """
+    if isinstance(items, np.ndarray) and items.dtype.kind in "ui":
+        return items.astype(np.uint64, copy=False)
+    if isinstance(items, np.ndarray):
+        items = items.tolist()
+    return np.fromiter(
+        (key_to_int(item) & MASK64 for item in items), dtype=np.uint64
+    )
+
+
+def rho_array(values: np.ndarray, width: int = 64) -> np.ndarray:
+    """Vectorised ``rho``: 1-based position of the leftmost 1-bit.
+
+    Array twin of :func:`repro.hashing.bits.rho`: for a ``width``-bit value
+    ``rho = width - bit_length + 1`` and all-zero values return ``width + 1``.
+    The bit length is recovered from ``np.frexp`` exponents of the low and
+    high 32-bit halves, both of which are exactly representable as doubles.
+    """
+    if width <= 0 or width > 64:
+        raise ValueError(f"width must be in [1, 64], got {width}")
+    v = np.asarray(values, dtype=np.uint64)
+    if width < 64:
+        v = v & np.uint64((1 << width) - 1)
+    low = (v & _U32_MASK).astype(np.float64)
+    high = (v >> np.uint64(32)).astype(np.float64)
+    _, low_exp = np.frexp(low)
+    _, high_exp = np.frexp(high)
+    bit_length = np.where(high > 0, high_exp + 32, low_exp)
+    return np.where(v == 0, width + 1, width - bit_length + 1).astype(np.int64)

@@ -22,6 +22,13 @@ from __future__ import annotations
 
 import abc
 
+import numpy as np
+
+from repro.hashing.arrays import (
+    keys_to_int_array,
+    murmur_finalize_array,
+    splitmix64_array,
+)
 from repro.hashing.bits import bit_field, rho
 from repro.hashing.mixers import (
     MASK64,
@@ -41,6 +48,21 @@ class HashFamily(abc.ABC):
     @abc.abstractmethod
     def hash64(self, item: object) -> int:
         """Return 64 pseudo-uniform bits for ``item`` (deterministic per seed)."""
+
+    def hash64_array(self, items: "np.ndarray | list | tuple") -> np.ndarray:
+        """Hash a chunk of items into a ``uint64`` array.
+
+        ``items`` may be any iterable of stream items or a NumPy integer
+        array of canonical 64-bit keys (the array-native stream mode).  The
+        result is element-wise identical to calling :meth:`hash64` on each
+        item; concrete families override this with vectorised
+        implementations, the base class falls back to the scalar path.
+        """
+        if isinstance(items, np.ndarray):
+            items = items.tolist()
+        return np.fromiter(
+            (self.hash64(item) for item in items), dtype=np.uint64
+        )
 
     def bucket(self, item: object, num_buckets: int) -> int:
         """Map ``item`` to a bucket index in ``{0, ..., num_buckets - 1}``."""
@@ -113,6 +135,13 @@ class MixerHashFamily(HashFamily):
         key = key_to_int(item)
         return self._mix((key ^ self._seed_mix) & MASK64)
 
+    def hash64_array(self, items: "np.ndarray | list | tuple") -> np.ndarray:
+        keys = keys_to_int_array(items)
+        mix = (
+            splitmix64_array if self.mixer == "splitmix64" else murmur_finalize_array
+        )
+        return mix(keys ^ np.uint64(self._seed_mix))
+
     def spawn(self, stream_index: int) -> "MixerHashFamily":
         derived_seed = splitmix64((self.seed ^ 0xA5A5A5A5A5A5A5A5) + stream_index)
         return MixerHashFamily(seed=derived_seed, mixer=self.mixer)
@@ -138,6 +167,7 @@ class TabulationHashFamily(HashFamily):
             flat[i * self._TABLE_SIZE : (i + 1) * self._TABLE_SIZE]
             for i in range(self._NUM_TABLES)
         ]
+        self._table_array = np.array(self._tables, dtype=np.uint64)
 
     def hash64(self, item: object) -> int:
         key = key_to_int(item)
@@ -146,3 +176,12 @@ class TabulationHashFamily(HashFamily):
             byte = (key >> (8 * table_index)) & 0xFF
             result ^= self._tables[table_index][byte]
         return result & MASK64
+
+    def hash64_array(self, items: "np.ndarray | list | tuple") -> np.ndarray:
+        """Table-lookup batch hash: one fancy-index gather per key byte."""
+        keys = keys_to_int_array(items)
+        result = np.zeros(keys.shape, dtype=np.uint64)
+        for table_index in range(self._NUM_TABLES):
+            bytes_ = (keys >> np.uint64(8 * table_index)) & np.uint64(0xFF)
+            result ^= self._table_array[table_index][bytes_.astype(np.intp)]
+        return result

@@ -5,6 +5,11 @@ implement :class:`DistinctCounter`.  The interface is intentionally small:
 
 * ``add(item)``            -- process one stream item (duplicates allowed),
 * ``update(iterable)``     -- convenience bulk ``add``,
+* ``update_batch(chunk)``  -- bulk ingestion of a chunk of items; sketches
+  with a vectorised fast path override it (hash the whole chunk with one
+  ``hash64_array`` call, scatter into the summary with NumPy kernels) and the
+  default falls back to ``update``.  State after ``update_batch`` is
+  guaranteed identical to item-by-item ``update`` on the same input,
 * ``estimate()``           -- current cardinality estimate (float),
 * ``memory_bits()``        -- size of the summary statistic in bits, using the
   same accounting convention as Section 6.2 of the paper (hash-function seeds
@@ -23,6 +28,8 @@ from __future__ import annotations
 
 import abc
 from typing import Callable, Iterable, Iterator
+
+import numpy as np
 
 __all__ = [
     "DistinctCounter",
@@ -64,6 +71,22 @@ class DistinctCounter(abc.ABC):
         """Add every item of ``items`` in order."""
         for item in items:
             self.add(item)
+
+    def update_batch(self, items: "np.ndarray | Iterable[object]") -> None:
+        """Ingest a chunk of items at once.
+
+        ``items`` may be any iterable of stream items or a NumPy integer
+        array of canonical 64-bit keys (the array-native mode of
+        :mod:`repro.streams.generators`); an integer key ``k`` is equivalent
+        to calling ``add(k)`` with the Python integer.  Sketches with a
+        vectorised fast path override this method; the base implementation
+        falls back to sequential :meth:`update`, so ``update_batch`` is
+        always available and always produces state identical to item-by-item
+        ingestion of the same chunk.
+        """
+        if isinstance(items, np.ndarray):
+            items = items.tolist()
+        self.update(items)
 
     def merge(self, other: "DistinctCounter") -> "DistinctCounter":
         """Merge ``other`` into ``self`` and return ``self``.

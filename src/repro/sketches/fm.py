@@ -17,6 +17,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.hashing.arrays import rho_array
 from repro.hashing.bits import rho
 from repro.hashing.family import HashFamily, MixerHashFamily
 from repro.sketches.base import DistinctCounter
@@ -86,6 +87,22 @@ class FlajoletMartin(DistinctCounter):
         sketch_index = (value >> 32) % self.num_sketches
         observation = min(rho(value & 0xFFFFFFFF, width=32), self.vector_bits)
         self._vectors[sketch_index, observation - 1] = True
+
+    def update_batch(self, items) -> None:
+        """Vectorised bulk ingestion: one hash call plus a boolean scatter.
+
+        Setting bits is idempotent and commutative, so the fancy-indexed
+        assignment (duplicate indices included) is state-identical to
+        sequential :meth:`add` calls.
+        """
+        values = self._hash.hash64_array(items)
+        if values.size == 0:
+            return
+        sketch_indices = (values >> np.uint64(32)) % np.uint64(self.num_sketches)
+        observations = np.minimum(
+            rho_array(values & np.uint64(0xFFFFFFFF), width=32), self.vector_bits
+        )
+        self._vectors[sketch_indices.astype(np.intp), observations - 1] = True
 
     def estimate(self) -> float:
         """Stochastic-averaged FM estimator ``(m/phi) 2^mean(R)``."""

@@ -17,6 +17,8 @@ from __future__ import annotations
 
 import heapq
 
+import numpy as np
+
 from repro.hashing.family import HashFamily, MixerHashFamily
 from repro.sketches.base import DistinctCounter
 
@@ -65,6 +67,27 @@ class KMinimumValues(DistinctCounter):
             heapq.heapreplace(self._heap, -value)
             self._members.discard(largest)
             self._members.add(value)
+
+    def update_batch(self, items) -> None:
+        """Vectorised bulk ingestion: hash, sort-unique, keep the k smallest.
+
+        The logical state after any ingestion order is the set of the ``k``
+        smallest distinct hash values seen, so merging the sorted chunk with
+        the current synopsis and truncating reproduces sequential :meth:`add`
+        exactly (the heap is rebuilt, which permutes its internal list but
+        not the value set).
+        """
+        values = self._hash.hash64_array(items)
+        if values.size == 0:
+            return
+        chunk = np.unique(values)
+        if len(chunk) > self.k:
+            chunk = chunk[: self.k]
+        merged = self._members.union(int(value) for value in chunk)
+        smallest = sorted(merged)[: self.k]
+        self._members = set(smallest)
+        self._heap = [-value for value in smallest]
+        heapq.heapify(self._heap)
 
     def estimate(self) -> float:
         """``(k-1)/U_(k)`` once full; exact count while under-full."""

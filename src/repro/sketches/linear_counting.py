@@ -78,6 +78,14 @@ class LinearCounting(DistinctCounter):
         """Set the bit the item hashes to (Algorithm 1)."""
         self._bits[self._hash.bucket(item, self.num_bits)] = True
 
+    def update_batch(self, items) -> None:
+        """Vectorised bulk ingestion: one hash call plus one boolean scatter."""
+        values = self._hash.hash64_array(items)
+        if values.size == 0:
+            return
+        buckets = values % np.uint64(self.num_bits)
+        self._bits[buckets.astype(np.intp)] = True
+
     def estimate(self) -> float:
         """Linear-counting estimate ``m ln(m / Z)``.
 

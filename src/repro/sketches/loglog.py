@@ -23,6 +23,7 @@ import math
 import numpy as np
 
 from repro.core.theory import register_width_bits
+from repro.hashing.arrays import rho_array
 from repro.hashing.bits import rho
 from repro.hashing.family import HashFamily, MixerHashFamily
 from repro.sketches.base import DistinctCounter
@@ -130,6 +131,22 @@ class LogLog(DistinctCounter):
         observation = min(rho(value & 0xFFFFFFFF, width=32), self._max_rho)
         if observation > self._registers[register]:
             self._registers[register] = observation
+
+    def update_batch(self, items) -> None:
+        """Vectorised bulk ingestion: one hash call plus an unbuffered
+        ``np.maximum.at`` scatter over the register array.
+
+        Register updates commute (each register keeps a running maximum), so
+        the scatter is state-identical to sequential :meth:`add` calls.
+        """
+        values = self._hash.hash64_array(items)
+        if values.size == 0:
+            return
+        registers = (values >> np.uint64(32)) % np.uint64(self.num_registers)
+        observations = np.minimum(
+            rho_array(values & np.uint64(0xFFFFFFFF), width=32), self._max_rho
+        ).astype(np.uint8)
+        np.maximum.at(self._registers, registers.astype(np.intp), observations)
 
     def estimate(self) -> float:
         """Geometric-mean estimator ``alpha_m * m * 2^mean(registers)``."""

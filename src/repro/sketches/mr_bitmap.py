@@ -30,6 +30,7 @@ import math
 
 import numpy as np
 
+from repro.hashing.arrays import rho_array
 from repro.hashing.family import HashFamily, MixerHashFamily
 from repro.sketches.base import DistinctCounter
 
@@ -190,6 +191,31 @@ class MultiresolutionBitmap(DistinctCounter):
         component = self._components[level - 1]
         bucket = (value >> 32) % component.shape[0]
         component[bucket] = True
+
+    def update_batch(self, items) -> None:
+        """Vectorised bulk ingestion: hash once, split by level, scatter.
+
+        The resolution level of :meth:`_level_of` equals
+        ``min(rho(sample_bits), K)``: the fraction lies in
+        ``[2^-i, 2^-(i-1))`` exactly when the 32 sampling bits have ``i - 1``
+        leading zeros.  One pass per level (``K`` is small) scatters all that
+        level's buckets with a boolean fancy-indexed assignment.
+        """
+        values = self._hash.hash64_array(items)
+        if values.size == 0:
+            return
+        levels = np.minimum(
+            rho_array(values & np.uint64(0xFFFFFFFF), width=32),
+            self.num_components,
+        )
+        high = values >> np.uint64(32)
+        for level in range(1, self.num_components + 1):
+            mask = levels == level
+            if not mask.any():
+                continue
+            component = self._components[level - 1]
+            buckets = high[mask] % np.uint64(component.shape[0])
+            component[buckets.astype(np.intp)] = True
 
     def estimate(self) -> float:
         """Combine the reliable components with linear counting.

@@ -89,6 +89,23 @@ class VirtualBitmap(DistinctCounter):
         bucket = (value >> 32) % self.num_bits
         self._bits[bucket] = True
 
+    def update_batch(self, items) -> None:
+        """Vectorised bulk ingestion: hash once, mask the sampled items, scatter.
+
+        The sampling rate is fixed (unlike the S-bitmap's fill-dependent
+        rates), so the admission filter is a single vectorised comparison and
+        the whole chunk commutes.
+        """
+        values = self._hash.hash64_array(items)
+        if values.size == 0:
+            return
+        variates = (values & np.uint64(0xFFFFFFFF)).astype(np.float64) * 2.0**-32
+        admitted = values[variates < self.sampling_rate]
+        if admitted.size == 0:
+            return
+        buckets = (admitted >> np.uint64(32)) % np.uint64(self.num_bits)
+        self._bits[buckets.astype(np.intp)] = True
+
     def estimate(self) -> float:
         """Scaled linear-counting estimate ``(1/r) m ln(m / Z)``."""
         empty = int(self.num_bits - np.count_nonzero(self._bits))

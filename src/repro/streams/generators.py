@@ -17,6 +17,20 @@ realistic streams with controlled ground truth.  This module provides:
 All generators are deterministic given a :class:`numpy.random.Generator` (or
 an integer seed) and yield lazily so arbitrarily long streams never have to be
 materialised.
+
+Array-native mode
+-----------------
+Each generator accepts ``as_array=True``, switching the output from Python
+strings to ``uint64`` *key-index chunks* (ndarrays of at most ``chunk_size``
+keys).  Chunks feed straight into ``DistinctCounter.update_batch`` without
+per-item key formatting -- the f-string rendering of the scalar mode costs
+more than the entire vectorised ingestion path at scale.  The duplication
+pattern is drawn from the RNG identically in both modes (same draws, same
+order), so a seed produces the same ground-truth cardinality and the same
+key sequence -- only the key representation differs (``"item-5"`` vs ``5``).
+One timing caveat for callers sharing a single Generator object across
+several streams: scalar mode consumes its draws lazily on first iteration
+(as it always has) while array mode consumes them at call time.
 """
 
 from __future__ import annotations
@@ -27,6 +41,7 @@ from typing import Iterable, Iterator
 import numpy as np
 
 __all__ = [
+    "DEFAULT_CHUNK_SIZE",
     "StreamSpec",
     "as_rng",
     "distinct_stream",
@@ -34,6 +49,10 @@ __all__ = [
     "shuffled",
     "zipf_stream",
 ]
+
+#: Default chunk length of the array-native mode: large enough to amortise
+#: NumPy dispatch, small enough to stay cache- and memory-friendly.
+DEFAULT_CHUNK_SIZE = 1 << 16
 
 
 def as_rng(seed_or_rng: int | np.random.Generator | None) -> np.random.Generator:
@@ -43,14 +62,61 @@ def as_rng(seed_or_rng: int | np.random.Generator | None) -> np.random.Generator
     return np.random.default_rng(seed_or_rng)
 
 
+def _array_chunks(keys: np.ndarray, chunk_size: int) -> Iterator[np.ndarray]:
+    """Yield ``keys`` in contiguous ``uint64`` chunks of ``chunk_size``."""
+    for start in range(0, keys.shape[0], chunk_size):
+        yield keys[start : start + chunk_size]
+
+
+def _check_chunk_size(chunk_size: int) -> None:
+    if chunk_size < 1:
+        raise ValueError(f"chunk_size must be positive, got {chunk_size}")
+
+
 def distinct_stream(
-    num_distinct: int, prefix: str = "item", start: int = 0
-) -> Iterator[str]:
-    """Yield exactly ``num_distinct`` distinct string keys (no duplicates)."""
+    num_distinct: int,
+    prefix: str = "item",
+    start: int = 0,
+    as_array: bool = False,
+    chunk_size: int = DEFAULT_CHUNK_SIZE,
+) -> Iterator[str] | Iterator[np.ndarray]:
+    """Yield exactly ``num_distinct`` distinct keys (no duplicates).
+
+    Scalar mode yields ``f"{prefix}-{index}"`` strings; with ``as_array=True``
+    it yields ``uint64`` chunks of the key indices ``start .. start + n - 1``.
+    """
     if num_distinct < 0:
         raise ValueError(f"num_distinct must be non-negative, got {num_distinct}")
-    for index in range(start, start + num_distinct):
-        yield f"{prefix}-{index}"
+    if as_array:
+        _check_chunk_size(chunk_size)
+        # int64 first so a negative ``start`` wraps modulo 2^64 like
+        # key_to_int would for the same Python integers.
+        keys = np.arange(start, start + num_distinct, dtype=np.int64)
+        return _array_chunks(keys.astype(np.uint64), chunk_size)
+    return (f"{prefix}-{index}" for index in range(start, start + num_distinct))
+
+
+def _replicated_keys(
+    num_distinct: int,
+    total_items: int,
+    rng: np.random.Generator,
+    extra_keys: np.ndarray,
+) -> np.ndarray:
+    """Interleave each distinct key once with the pre-drawn extra occurrences.
+
+    Consumes exactly one ``rng.shuffle`` call, mirroring the scalar
+    generators, so scalar and array modes see identical randomness.
+    """
+    extras = total_items - num_distinct
+    schedule = np.concatenate(
+        [np.arange(num_distinct), np.full(extras, -1, dtype=np.int64)]
+    )
+    rng.shuffle(schedule)
+    keys = np.empty(total_items, dtype=np.uint64)
+    fresh = schedule >= 0
+    keys[fresh] = schedule[fresh].astype(np.uint64)
+    keys[~fresh] = np.asarray(extra_keys, dtype=np.uint64)
+    return keys
 
 
 def duplicated_stream(
@@ -58,12 +124,16 @@ def duplicated_stream(
     total_items: int,
     seed_or_rng: int | np.random.Generator | None = None,
     prefix: str = "item",
-) -> Iterator[str]:
+    as_array: bool = False,
+    chunk_size: int = DEFAULT_CHUNK_SIZE,
+) -> Iterator[str] | Iterator[np.ndarray]:
     """Yield a stream with ``num_distinct`` distinct keys and ``total_items`` items.
 
     Every key appears at least once (so the ground-truth cardinality is exactly
     ``num_distinct``); the remaining ``total_items - num_distinct`` occurrences
-    are drawn uniformly at random from the key set and interleaved.
+    are drawn uniformly at random from the key set and interleaved.  With
+    ``as_array=True`` the same schedule is emitted as ``uint64`` key-index
+    chunks instead of formatted strings.
     """
     if num_distinct < 0:
         raise ValueError(f"num_distinct must be non-negative, got {num_distinct}")
@@ -72,11 +142,37 @@ def duplicated_stream(
             f"total_items ({total_items}) must be at least num_distinct "
             f"({num_distinct})"
         )
+    if as_array:
+        _check_chunk_size(chunk_size)
     rng = as_rng(seed_or_rng)
     extras = total_items - num_distinct
     if num_distinct == 0:
-        return
-    extra_keys = rng.integers(0, num_distinct, size=extras)
+        return iter(())
+
+    def draw_extras() -> np.ndarray:
+        return rng.integers(0, num_distinct, size=extras)
+
+    if as_array:
+        keys = _replicated_keys(num_distinct, total_items, rng, draw_extras())
+        return _array_chunks(keys, chunk_size)
+    return _scalar_replicated(num_distinct, extras, rng, draw_extras, prefix)
+
+
+def _scalar_replicated(
+    num_distinct: int,
+    extras: int,
+    rng: np.random.Generator,
+    draw_extras,
+    prefix: str,
+) -> Iterator[str]:
+    """Lazy string-mode emission shared by the duplicated and zipf streams.
+
+    All RNG consumption (the extras draw, then the schedule shuffle) happens
+    inside the generator body, on first iteration -- so callers sharing one
+    :class:`numpy.random.Generator` across several streams see the same draw
+    interleaving as the historical generator-function implementation.
+    """
+    extra_keys = draw_extras()
     # Interleave: emit each distinct key once, inserting extras at random
     # positions determined by a shuffled schedule.
     schedule = np.concatenate(
@@ -98,12 +194,15 @@ def zipf_stream(
     exponent: float = 1.2,
     seed_or_rng: int | np.random.Generator | None = None,
     prefix: str = "item",
-) -> Iterator[str]:
+    as_array: bool = False,
+    chunk_size: int = DEFAULT_CHUNK_SIZE,
+) -> Iterator[str] | Iterator[np.ndarray]:
     """Yield a heavy-tailed stream: key frequencies follow a Zipf law.
 
     The ground-truth cardinality is exactly ``num_distinct`` (every key is
     emitted at least once); the remaining occurrences are allocated with
-    probability proportional to ``rank^-exponent``.
+    probability proportional to ``rank^-exponent``.  With ``as_array=True``
+    the same schedule is emitted as ``uint64`` key-index chunks.
     """
     if exponent <= 0:
         raise ValueError(f"exponent must be positive, got {exponent}")
@@ -114,25 +213,25 @@ def zipf_stream(
             f"total_items ({total_items}) must be at least num_distinct "
             f"({num_distinct})"
         )
+    if as_array:
+        _check_chunk_size(chunk_size)
     if num_distinct == 0:
-        return
+        return iter(())
     rng = as_rng(seed_or_rng)
-    ranks = np.arange(1, num_distinct + 1, dtype=float)
-    weights = ranks**-exponent
-    weights /= weights.sum()
     extras = total_items - num_distinct
-    extra_keys = rng.choice(num_distinct, size=extras, p=weights) if extras else []
-    schedule = np.concatenate(
-        [np.arange(num_distinct), np.full(extras, -1, dtype=np.int64)]
-    )
-    rng.shuffle(schedule)
-    extra_index = 0
-    for slot in schedule:
-        if slot >= 0:
-            yield f"{prefix}-{slot}"
-        else:
-            yield f"{prefix}-{extra_keys[extra_index]}"
-            extra_index += 1
+
+    def draw_extras() -> np.ndarray:
+        if not extras:
+            return np.empty(0, dtype=np.int64)
+        ranks = np.arange(1, num_distinct + 1, dtype=float)
+        weights = ranks**-exponent
+        weights /= weights.sum()
+        return rng.choice(num_distinct, size=extras, p=weights)
+
+    if as_array:
+        keys = _replicated_keys(num_distinct, total_items, rng, draw_extras())
+        return _array_chunks(keys, chunk_size)
+    return _scalar_replicated(num_distinct, extras, rng, draw_extras, prefix)
 
 
 def shuffled(
@@ -179,4 +278,38 @@ class StreamSpec:
         if self.kind == "zipf":
             total = max(self.total_items, self.num_distinct)
             return zipf_stream(self.num_distinct, total, self.exponent, self.seed)
+        raise ValueError(f"unknown stream kind {self.kind!r}")
+
+    def generate_arrays(
+        self, chunk_size: int = DEFAULT_CHUNK_SIZE
+    ) -> Iterator[np.ndarray]:
+        """Array-native twin of :meth:`generate`: ``uint64`` key-index chunks.
+
+        The duplication pattern (and hence the ground-truth cardinality) is
+        identical to :meth:`generate` for the same spec; only the key
+        representation differs (integer indices instead of formatted strings).
+        """
+        if self.kind == "distinct":
+            return distinct_stream(
+                self.num_distinct, as_array=True, chunk_size=chunk_size
+            )
+        if self.kind == "duplicated":
+            total = max(self.total_items, self.num_distinct)
+            return duplicated_stream(
+                self.num_distinct,
+                total,
+                self.seed,
+                as_array=True,
+                chunk_size=chunk_size,
+            )
+        if self.kind == "zipf":
+            total = max(self.total_items, self.num_distinct)
+            return zipf_stream(
+                self.num_distinct,
+                total,
+                self.exponent,
+                self.seed,
+                as_array=True,
+                chunk_size=chunk_size,
+            )
         raise ValueError(f"unknown stream kind {self.kind!r}")

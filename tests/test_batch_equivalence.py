@@ -1,0 +1,152 @@
+"""State equivalence of ``update_batch`` and item-by-item ``update``.
+
+The batch ingestion engine promises that ``update_batch`` produces sketch
+state *identical* to sequential ``update`` on the same input -- not merely a
+close estimate.  These property tests enforce that promise for every sketch
+in the registry, over seeded random streams covering duplicates, chunk
+boundaries, integer-key arrays and string items.
+
+The comparison inspects the full instance ``__dict__`` (hash family and
+static design objects excluded): bit vectors, registers, fill counters,
+member sets and synopsis heaps must all agree.  Heaps are compared as sorted
+multisets because rebuilding a heap may permute its internal list without
+changing the value set it represents.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.sketches import available_sketches, create_sketch
+from repro.streams.generators import duplicated_stream, zipf_stream
+
+MEMORY_BITS = 4_096
+N_MAX = 500_000
+
+#: Attributes that are configuration, not evolving state.
+_STATIC_ATTRIBUTES = {"_hash", "design", "estimator"}
+
+
+def assert_same_state(left, right) -> None:
+    """Assert two sketches of the same type carry identical mutable state."""
+    assert type(left) is type(right)
+    left_vars, right_vars = vars(left), vars(right)
+    assert left_vars.keys() == right_vars.keys()
+    for name in left_vars:
+        if name in _STATIC_ATTRIBUTES:
+            continue
+        a, b = left_vars[name], right_vars[name]
+        if isinstance(a, np.ndarray):
+            if a.dtype.kind == "f":
+                assert np.array_equal(a, b, equal_nan=True), name
+            else:
+                assert np.array_equal(a, b), name
+        elif isinstance(a, list) and a and isinstance(a[0], np.ndarray):
+            assert len(a) == len(b), name
+            for component_a, component_b in zip(a, b):
+                assert np.array_equal(component_a, component_b), name
+        elif isinstance(a, list):
+            try:
+                assert sorted(a) == sorted(b), name
+            except TypeError:
+                assert a == b, name
+        else:
+            assert a == b, name
+
+
+def _chunked(keys: np.ndarray, rng: np.random.Generator) -> list[np.ndarray]:
+    """Split ``keys`` into randomly sized chunks (including tiny ones)."""
+    pieces = int(rng.integers(2, 9))
+    return [chunk for chunk in np.array_split(keys, pieces)]
+
+
+@pytest.mark.parametrize("name", sorted(available_sketches()))
+@pytest.mark.parametrize("seed", [0, 1, 2])
+def test_batch_matches_sequential_on_integer_keys(name, seed):
+    """Random duplicate-heavy integer streams, random chunking."""
+    rng = np.random.default_rng(1000 + seed)
+    num_distinct = int(rng.integers(1, 5_000))
+    total = num_distinct + int(rng.integers(0, 15_000))
+    keys = rng.integers(0, num_distinct, size=total, dtype=np.uint64)
+
+    sequential = create_sketch(name, MEMORY_BITS, N_MAX, seed=seed)
+    batched = create_sketch(name, MEMORY_BITS, N_MAX, seed=seed)
+    sequential.update(keys.tolist())
+    for chunk in _chunked(keys, rng):
+        batched.update_batch(chunk)
+
+    assert_same_state(sequential, batched)
+    assert sequential.estimate() == batched.estimate()
+
+
+@pytest.mark.parametrize("name", sorted(available_sketches()))
+def test_batch_matches_sequential_on_string_items(name):
+    """String-item chunks exercise the per-item canonicalisation fallback."""
+    items = [f"flow-{i % 700}" for i in range(3_000)]
+    sequential = create_sketch(name, MEMORY_BITS, N_MAX, seed=3)
+    batched = create_sketch(name, MEMORY_BITS, N_MAX, seed=3)
+    sequential.update(items)
+    for start in range(0, len(items), 512):
+        batched.update_batch(items[start : start + 512])
+    assert_same_state(sequential, batched)
+    assert sequential.estimate() == batched.estimate()
+
+
+@pytest.mark.parametrize("name", sorted(available_sketches()))
+def test_empty_and_singleton_chunks(name):
+    """Degenerate chunk sizes must be no-ops / single adds."""
+    sketch = create_sketch(name, MEMORY_BITS, N_MAX, seed=4)
+    reference = create_sketch(name, MEMORY_BITS, N_MAX, seed=4)
+    sketch.update_batch(np.empty(0, dtype=np.uint64))
+    assert_same_state(sketch, reference)
+    sketch.update_batch(np.array([42], dtype=np.uint64))
+    reference.add(42)
+    assert_same_state(sketch, reference)
+    assert sketch.estimate() == reference.estimate()
+
+
+def test_sbitmap_batch_equivalence_through_saturation():
+    """Chunked ingestion agrees with sequential even past full saturation."""
+    from repro.core.sbitmap import SBitmap
+
+    keys = np.arange(30_000, dtype=np.uint64)
+    sequential = SBitmap.from_memory(num_bits=128, n_max=1_000, seed=9)
+    batched = SBitmap.from_memory(num_bits=128, n_max=1_000, seed=9)
+    sequential.update(keys.tolist())
+    for chunk in np.array_split(keys, 11):
+        batched.update_batch(chunk)
+    assert np.array_equal(sequential.bit_vector, batched.bit_vector)
+    assert sequential.fill_count == batched.fill_count
+    assert sequential.items_seen == batched.items_seen
+
+
+def test_array_mode_streams_match_listed_keys():
+    """Feeding the array-native stream equals feeding its Python-int keys."""
+    chunks = list(
+        zipf_stream(800, 5_000, seed_or_rng=6, as_array=True, chunk_size=777)
+    )
+    keys = np.concatenate(chunks)
+    for name in ("sbitmap", "hyperloglog", "linear_counting"):
+        batched = create_sketch(name, MEMORY_BITS, N_MAX, seed=5)
+        listed = create_sketch(name, MEMORY_BITS, N_MAX, seed=5)
+        for chunk in chunks:
+            batched.update_batch(chunk)
+        listed.update(keys.tolist())
+        assert_same_state(listed, batched)
+
+
+def test_duplicated_stream_modes_share_ground_truth():
+    """Scalar and array modes of one seed emit the same key schedule."""
+    scalar_keys = [
+        int(item.split("-")[1])
+        for item in duplicated_stream(400, 1_500, seed_or_rng=12)
+    ]
+    array_keys = np.concatenate(
+        list(
+            duplicated_stream(
+                400, 1_500, seed_or_rng=12, as_array=True, chunk_size=256
+            )
+        )
+    )
+    assert scalar_keys == array_keys.tolist()

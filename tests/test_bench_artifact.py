@@ -1,0 +1,97 @@
+"""Smoke test of the throughput-benchmark artifact generation.
+
+``benchmarks/run_bench.py`` writes the ``BENCH_throughput.json`` artifact
+that tracks ingestion throughput across PRs.  This tier-1 smoke invocation
+runs the same suite at a tiny stream size and validates the payload shape,
+so the artifact generation cannot silently rot between benchmark runs.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+
+@pytest.fixture(scope="module")
+def run_bench():
+    spec = importlib.util.spec_from_file_location(
+        "run_bench", REPO_ROOT / "benchmarks" / "run_bench.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    sys.modules.setdefault("run_bench", module)
+    spec.loader.exec_module(module)
+    return module
+
+
+def test_run_suite_payload_shape(run_bench):
+    payload = run_bench.run_suite(
+        algorithms=("sbitmap", "linear_counting", "hyperloglog"),
+        num_items=5_000,
+        memory_bits=2_048,
+        n_max=100_000,
+        chunk_size=1_024,
+    )
+    assert payload["suite"] == "batch_ingestion_throughput"
+    assert payload["config"]["num_items"] == 5_000
+    assert set(payload["results"]) == {"sbitmap", "linear_counting", "hyperloglog"}
+    for row in payload["results"].values():
+        assert row["scalar"]["items_per_sec"] > 0
+        assert row["batch"]["items_per_sec"] > 0
+        assert row["speedup"] > 0
+        assert row["estimate"] > 0
+
+
+def test_write_artifact_round_trips(run_bench, tmp_path):
+    payload = run_bench.run_suite(
+        algorithms=("linear_counting",),
+        num_items=2_000,
+        memory_bits=1_024,
+        n_max=50_000,
+        chunk_size=512,
+    )
+    path = run_bench.write_artifact(payload, tmp_path / "BENCH_throughput.json")
+    assert json.loads(path.read_text()) == payload
+
+
+def test_cli_writes_artifact(run_bench, tmp_path, capsys):
+    output = tmp_path / "bench.json"
+    exit_code = run_bench.main(
+        [
+            "--items",
+            "2000",
+            "--memory-bits",
+            "1024",
+            "--n-max",
+            "50000",
+            "--algorithms",
+            "loglog",
+            "--output",
+            str(output),
+        ]
+    )
+    assert exit_code == 0
+    payload = json.loads(output.read_text())
+    assert "loglog" in payload["results"]
+    assert "speedup" in capsys.readouterr().out
+
+
+def test_committed_artifact_is_current(run_bench):
+    """The committed artifact must exist and match the suite schema."""
+    artifact = REPO_ROOT / "BENCH_throughput.json"
+    assert artifact.exists(), (
+        "BENCH_throughput.json missing at the repo root; regenerate with "
+        "`PYTHONPATH=src python benchmarks/run_bench.py`"
+    )
+    payload = json.loads(artifact.read_text())
+    assert payload["suite"] == "batch_ingestion_throughput"
+    assert payload["config"]["num_items"] >= 1_000_000, (
+        "committed artifact was generated at a reduced scale"
+    )
+    for algorithm in run_bench.DEFAULT_ALGORITHMS:
+        assert algorithm in payload["results"], algorithm

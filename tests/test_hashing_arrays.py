@@ -1,0 +1,135 @@
+"""Bit-exact parity of the array mixers with their scalar counterparts."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.hashing import (
+    MixerHashFamily,
+    TabulationHashFamily,
+    key_to_int,
+    keys_to_int_array,
+    murmur_finalize,
+    murmur_finalize_array,
+    rho,
+    rho_array,
+    splitmix64,
+    splitmix64_array,
+)
+
+EDGE_VALUES = np.array(
+    [0, 1, 2, 2**32 - 1, 2**32, 2**63 - 1, 2**63, 2**64 - 1], dtype=np.uint64
+)
+
+
+@pytest.fixture(scope="module")
+def random_values() -> np.ndarray:
+    rng = np.random.default_rng(20090401)
+    values = rng.integers(0, 2**64, size=5_000, dtype=np.uint64)
+    return np.concatenate([EDGE_VALUES, values])
+
+
+class TestMixerParity:
+    def test_splitmix64_array_matches_scalar(self, random_values):
+        mixed = splitmix64_array(random_values)
+        assert mixed.dtype == np.uint64
+        for array_value, value in zip(mixed.tolist(), random_values.tolist()):
+            assert array_value == splitmix64(value)
+
+    def test_murmur_finalize_array_matches_scalar(self, random_values):
+        mixed = murmur_finalize_array(random_values)
+        assert mixed.dtype == np.uint64
+        for array_value, value in zip(mixed.tolist(), random_values.tolist()):
+            assert array_value == murmur_finalize(value)
+
+    def test_mixers_are_bijective_on_sample(self, random_values):
+        unique_inputs = np.unique(random_values)
+        assert np.unique(splitmix64_array(unique_inputs)).size == unique_inputs.size
+        assert (
+            np.unique(murmur_finalize_array(unique_inputs)).size == unique_inputs.size
+        )
+
+
+class TestKeysToIntArray:
+    def test_integer_array_fast_path(self, random_values):
+        keys = keys_to_int_array(random_values)
+        assert keys.dtype == np.uint64
+        assert np.array_equal(keys, random_values)
+
+    def test_signed_array_wraps_like_scalar(self):
+        signed = np.array([-1, -2**63, 17, 0], dtype=np.int64)
+        keys = keys_to_int_array(signed)
+        assert keys.tolist() == [key_to_int(value) for value in signed.tolist()]
+
+    def test_object_fallback_matches_key_to_int(self):
+        items = ["flow-1", b"payload", 3.25, (1, "a"), True, False, None, -7]
+        keys = keys_to_int_array(items)
+        assert keys.tolist() == [key_to_int(item) for item in items]
+
+    def test_bool_array_uses_scalar_canonicalisation(self):
+        flags = np.array([True, False, True])
+        keys = keys_to_int_array(flags)
+        assert keys.tolist() == [key_to_int(bool(flag)) for flag in flags]
+
+
+class TestRhoArray:
+    @pytest.mark.parametrize("width", [1, 8, 32, 64])
+    def test_matches_scalar(self, random_values, width):
+        masked = (
+            random_values
+            if width == 64
+            else random_values & np.uint64((1 << width) - 1)
+        )
+        observed = rho_array(masked, width=width)
+        for array_value, value in zip(observed.tolist(), masked.tolist()):
+            assert array_value == rho(value, width)
+
+    def test_zero_maps_to_width_plus_one(self):
+        assert rho_array(np.zeros(3, dtype=np.uint64), width=32).tolist() == [33] * 3
+
+    def test_invalid_width_rejected(self):
+        with pytest.raises(ValueError):
+            rho_array(np.array([1], dtype=np.uint64), width=0)
+        with pytest.raises(ValueError):
+            rho_array(np.array([1], dtype=np.uint64), width=65)
+
+
+class TestHashFamilyArrayParity:
+    @pytest.mark.parametrize(
+        "family",
+        [
+            MixerHashFamily(seed=7),
+            MixerHashFamily(seed=7, mixer="murmur"),
+            TabulationHashFamily(seed=7),
+        ],
+        ids=["splitmix", "murmur", "tabulation"],
+    )
+    def test_hash64_array_matches_hash64(self, family, random_values):
+        sample = random_values[:512]
+        hashed = family.hash64_array(sample)
+        assert hashed.dtype == np.uint64
+        for array_value, value in zip(hashed.tolist(), sample.tolist()):
+            assert array_value == family.hash64(value)
+        items = [f"item-{i}" for i in range(200)]
+        hashed_items = family.hash64_array(items)
+        for array_value, item in zip(hashed_items.tolist(), items):
+            assert array_value == family.hash64(item)
+
+    def test_base_class_fallback_is_consistent(self):
+        class LastByteFamily(MixerHashFamily):
+            def hash64(self, item: object) -> int:
+                return key_to_int(item) & 0xFF
+
+            hash64_array = None  # force attribute lookup to the base class
+
+        family = LastByteFamily(seed=0)
+        from repro.hashing.family import HashFamily
+
+        hashed = HashFamily.hash64_array(family, np.array([1, 257], dtype=np.uint64))
+        assert hashed.tolist() == [1, 1]
+
+    def test_empty_chunk(self):
+        family = MixerHashFamily(seed=1)
+        assert family.hash64_array(np.empty(0, dtype=np.uint64)).size == 0
+        assert family.hash64_array([]).size == 0

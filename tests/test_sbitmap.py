@@ -189,3 +189,52 @@ class TestMergeAndSerialisation:
         clone.update(distinct_stream(100, start=100))
         assert clone.fill_count >= sketch.fill_count
         assert clone.items_seen != sketch.items_seen
+
+    def test_from_dict_rejects_mismatched_design(self, small_design):
+        sketch = SBitmap(small_design, seed=11)
+        sketch.update(distinct_stream(100))
+        payload = sketch.to_dict()
+        payload["precision"] = payload["precision"] * 1.5
+        with pytest.raises(ValueError, match="precision"):
+            SBitmap.from_dict(payload)
+        payload = sketch.to_dict()
+        payload["n_max"] = payload["n_max"] * 10
+        with pytest.raises(ValueError, match="equation"):
+            SBitmap.from_dict(payload)
+
+    def test_from_dict_rejects_inconsistent_fill_count(self, small_design):
+        sketch = SBitmap(small_design, seed=11)
+        sketch.update(distinct_stream(100))
+        payload = sketch.to_dict()
+        payload["fill_count"] = payload["fill_count"] + 1
+        with pytest.raises(ValueError, match="fill_count"):
+            SBitmap.from_dict(payload)
+
+
+class TestSaturationGuard:
+    def test_add_survives_full_bitmap(self):
+        """Regression: ``add`` at fill == m must not index past the rate table.
+
+        A fully saturated bitmap (every bit set) normally short-circuits on
+        the occupied check, but a desynchronised fill counter (e.g. a
+        hand-edited snapshot) used to read ``rates[m + 1]`` and raise
+        ``IndexError``; the guard must make it a quiet no-op instead.
+        """
+        sketch = SBitmap.from_memory(num_bits=64, n_max=100, seed=1)
+        sketch._fill_count = sketch.design.num_bits  # bitmap still empty
+        sketch.add("late-item")
+        assert sketch.fill_count == sketch.design.num_bits
+        assert sketch.items_seen == 1
+        sketch.update(distinct_stream(50))
+        assert sketch.fill_count == sketch.design.num_bits
+        sketch.update_batch(np.arange(50, dtype=np.uint64))
+        assert sketch.fill_count == sketch.design.num_bits
+
+    def test_stream_can_fill_every_bit(self):
+        """Driving a tiny sketch far past N fills all m bits without error."""
+        sketch = SBitmap.from_memory(num_bits=64, n_max=100, seed=1)
+        sketch.update(distinct_stream(100_000))
+        assert sketch.fill_count == sketch.design.num_bits
+        assert sketch.saturated
+        sketch.add("one-more")  # no IndexError once truly full
+        assert sketch.items_seen == 100_001

@@ -121,3 +121,58 @@ class TestStreamSpec:
     def test_unknown_kind(self):
         with pytest.raises(ValueError):
             list(StreamSpec(kind="nope", num_distinct=10).generate())
+
+
+class TestArrayMode:
+    @pytest.mark.parametrize(
+        "maker",
+        [
+            lambda **kw: duplicated_stream(250, 800, seed_or_rng=4, **kw),
+            lambda **kw: zipf_stream(250, 800, seed_or_rng=4, **kw),
+        ],
+        ids=["duplicated", "zipf"],
+    )
+    def test_scalar_and_array_modes_emit_same_schedule(self, maker):
+        scalar_keys = [int(item.split("-")[1]) for item in maker()]
+        chunks = list(maker(as_array=True, chunk_size=128))
+        assert all(chunk.dtype == np.uint64 for chunk in chunks)
+        assert max(len(chunk) for chunk in chunks) <= 128
+        assert scalar_keys == np.concatenate(chunks).tolist()
+
+    def test_distinct_stream_chunking(self):
+        chunks = list(distinct_stream(10, as_array=True, chunk_size=4))
+        assert [chunk.tolist() for chunk in chunks] == [[0, 1, 2, 3], [4, 5, 6, 7], [8, 9]]
+
+    def test_distinct_stream_negative_start_wraps(self):
+        chunks = list(distinct_stream(3, start=-2, as_array=True))
+        assert np.concatenate(chunks).tolist() == [2**64 - 2, 2**64 - 1, 0]
+
+    def test_invalid_chunk_size(self):
+        with pytest.raises(ValueError):
+            distinct_stream(10, as_array=True, chunk_size=0)
+
+    def test_scalar_mode_draws_lazily_from_shared_generator(self):
+        """Two streams on one Generator consume draws at iteration time.
+
+        Regression for the array-mode refactor: the scalar mode must keep
+        the historical draw order (each stream's extras + shuffle drawn at
+        its first iteration), so experiments sharing a Generator across
+        streams reproduce pre-refactor sequences.
+        """
+        shared = np.random.default_rng(5)
+        first = duplicated_stream(10, 20, shared)
+        second = duplicated_stream(10, 20, shared)
+        interleaved = (list(first), list(second))
+
+        replay = np.random.default_rng(5)
+        expected = (
+            list(duplicated_stream(10, 20, replay)),
+            list(duplicated_stream(10, 20, replay)),
+        )
+        assert interleaved == expected
+
+    def test_generate_arrays_matches_generate(self):
+        spec = StreamSpec(kind="duplicated", num_distinct=99, total_items=300, seed=8)
+        scalar_keys = [int(item.split("-")[1]) for item in spec.generate()]
+        array_keys = np.concatenate(list(spec.generate_arrays(chunk_size=64)))
+        assert scalar_keys == array_keys.tolist()
