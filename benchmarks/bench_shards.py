@@ -1,0 +1,81 @@
+"""Shard-scaling benchmarks and the ``BENCH_shards.json`` artifact.
+
+Wraps :mod:`run_bench_shards` the same way :mod:`bench_batch` wraps
+:mod:`run_bench`: per-configuration micro-benchmarks plus one
+artifact-emitting pass at the tracked scale, so every benchmark run
+refreshes the committed per-shard scaling numbers.
+
+Run with::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_shards.py
+
+Speedup across the jobs grid is hardware-bound (the artifact records
+``cpu_count``); correctness -- sharded estimates matching the single-sketch
+reference -- is asserted on every round regardless of core count.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+import run_bench_shards
+from repro.pipeline import ShardedCounter
+from repro.sketches import create_sketch
+from repro.streams.generators import duplicated_stream
+
+MEMORY_BITS = 8_000
+N_MAX = 1_000_000
+STREAM_DISTINCT = 25_000
+STREAM_TOTAL = 100_000
+CHUNK_SIZE = 1 << 14
+NUM_SHARDS = 4
+
+
+@pytest.fixture(scope="module")
+def key_chunks() -> list[np.ndarray]:
+    return [
+        chunk.copy()
+        for chunk in duplicated_stream(
+            STREAM_DISTINCT,
+            STREAM_TOTAL,
+            seed_or_rng=7,
+            as_array=True,
+            chunk_size=CHUNK_SIZE,
+        )
+    ]
+
+
+@pytest.mark.parametrize("jobs", [1, 2, 4])
+@pytest.mark.parametrize("algorithm", run_bench_shards.DEFAULT_ALGORITHMS)
+def test_sharded_ingestion(benchmark, key_chunks, algorithm, jobs):
+    """Sharded ingestion at each worker count, checked against one sketch."""
+
+    def run() -> float:
+        counter = ShardedCounter(
+            algorithm, MEMORY_BITS, N_MAX, num_shards=NUM_SHARDS, seed=1
+        )
+        counter.ingest(iter(key_chunks), jobs=jobs)
+        return counter.estimate()
+
+    estimate = benchmark(run)
+    if algorithm in ("hyperloglog",):
+        reference = create_sketch(algorithm, MEMORY_BITS, N_MAX, seed=1)
+        for chunk in key_chunks:
+            reference.update_batch(chunk)
+        assert estimate == reference.estimate()
+    else:
+        assert 0.9 * STREAM_DISTINCT < estimate < 1.1 * STREAM_DISTINCT
+    benchmark.extra_info["items"] = STREAM_TOTAL
+    benchmark.extra_info["jobs"] = jobs
+
+
+def test_emit_shards_artifact(benchmark):
+    """Refresh ``BENCH_shards.json`` at the full tracked scale (2M items)."""
+    payload = benchmark.pedantic(run_bench_shards.run_suite, rounds=1, iterations=1)
+    run_bench_shards.write_artifact(payload, run_bench_shards.DEFAULT_ARTIFACT)
+    for algorithm, row in payload["results"].items():
+        best = max(
+            cell["speedup_vs_1_worker"] for cell in row["sharded"].values()
+        )
+        benchmark.extra_info[algorithm] = round(best, 2)

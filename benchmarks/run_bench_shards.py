@@ -1,0 +1,207 @@
+"""Shard-scaling suite: parallel hash-partitioned ingestion vs one worker.
+
+Measures wall-clock items/sec of :class:`repro.pipeline.ShardedCounter.ingest`
+over the same materialised integer-key stream at increasing worker counts,
+and writes the results as a ``BENCH_shards.json`` artifact so per-shard
+scaling numbers are committed facts, not prose claims.
+
+The counter configuration (``num_shards``) is held fixed across worker
+counts, so every run does identical partitioning and ingestion work -- the
+only variable is how many processes the shard tasks are spread over.  A
+single-sketch ``update_batch`` row is included as the unsharded reference.
+
+Speedup is hardware-bound: the artifact records ``cpu_count`` alongside the
+numbers, and on a single-core host the multi-worker rows honestly degenerate
+to ~1x (process scheduling cannot create cores).  Regenerate on a multi-core
+machine to see the scaling::
+
+    PYTHONPATH=src python benchmarks/run_bench_shards.py                # 2M items
+    PYTHONPATH=src python benchmarks/run_bench_shards.py --items 500000 # quicker
+
+The module is import-safe (no work at import time) so the tier-1 test-suite
+smoke-invokes :func:`run_suite` at a tiny scale.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+if str(REPO_ROOT / "src") not in sys.path:
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+
+import numpy as np
+
+from repro import __version__
+from repro.pipeline import ShardedCounter
+from repro.sketches import create_sketch
+from repro.streams.generators import DEFAULT_CHUNK_SIZE, duplicated_stream
+
+#: Algorithms tracked by the artifact: the paper's sketch (additive combine
+#: across shards) and the mergeable baseline used for fleet roll-ups.
+DEFAULT_ALGORITHMS = ("sbitmap", "hyperloglog")
+
+DEFAULT_JOBS = (1, 2, 4)
+
+DEFAULT_ARTIFACT = REPO_ROOT / "BENCH_shards.json"
+
+
+def run_suite(
+    algorithms: tuple[str, ...] = DEFAULT_ALGORITHMS,
+    num_items: int = 2_000_000,
+    num_distinct: int | None = None,
+    memory_bits: int = 8_000,
+    n_max: int = 2_000_000,
+    num_shards: int = 4,
+    jobs_grid: tuple[int, ...] = DEFAULT_JOBS,
+    chunk_size: int = DEFAULT_CHUNK_SIZE,
+    flush_items: int = 4_000_000,
+    seed: int = 7,
+) -> dict:
+    """Measure sharded ingestion throughput across worker counts.
+
+    Every configuration consumes the same pre-materialised key chunks (the
+    array-native stream mode), isolating ingestion cost from generation.
+    Returns the JSON-serialisable payload that :func:`write_artifact`
+    persists; ``speedup`` entries are relative to the ``jobs=1`` row of the
+    same algorithm.
+    """
+    if 1 not in jobs_grid:
+        raise ValueError("jobs_grid must include 1 (the speedup baseline)")
+    if num_distinct is None:
+        num_distinct = max(1, num_items // 4)
+    chunks = [
+        chunk.copy()
+        for chunk in duplicated_stream(
+            num_distinct,
+            num_items,
+            seed_or_rng=seed,
+            as_array=True,
+            chunk_size=chunk_size,
+        )
+    ]
+    results: dict[str, dict] = {}
+    for algorithm in algorithms:
+        single = create_sketch(algorithm, memory_bits, n_max, seed=seed)
+        start = time.perf_counter()
+        for chunk in chunks:
+            single.update_batch(chunk)
+        single_seconds = time.perf_counter() - start
+        rows: dict[str, dict] = {}
+        baseline_seconds = None
+        # The jobs=1 baseline must run first regardless of grid order: every
+        # other row's speedup divides by its wall-clock.
+        ordered_jobs = [1] + [jobs for jobs in jobs_grid if jobs != 1]
+        for jobs in ordered_jobs:
+            counter = ShardedCounter(
+                algorithm, memory_bits, n_max, num_shards=num_shards, seed=seed
+            )
+            start = time.perf_counter()
+            counter.ingest(iter(chunks), jobs=jobs, flush_items=flush_items)
+            seconds = time.perf_counter() - start
+            if jobs == 1:
+                baseline_seconds = seconds
+            estimate = counter.estimate()
+            rows[str(jobs)] = {
+                "seconds": seconds,
+                "items_per_sec": num_items / seconds,
+                "speedup_vs_1_worker": baseline_seconds / seconds,
+                "estimate": estimate,
+                "relative_error": estimate / num_distinct - 1.0,
+            }
+        results[algorithm] = {
+            "single_sketch": {
+                "seconds": single_seconds,
+                "items_per_sec": num_items / single_seconds,
+                "estimate": single.estimate(),
+            },
+            "sharded": rows,
+        }
+    return {
+        "suite": "shard_scaling",
+        "version": __version__,
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "cpu_count": os.cpu_count(),
+        "config": {
+            "num_items": num_items,
+            "num_distinct": num_distinct,
+            "memory_bits": memory_bits,
+            "n_max": n_max,
+            "num_shards": num_shards,
+            "jobs_grid": list(jobs_grid),
+            "chunk_size": chunk_size,
+            "flush_items": flush_items,
+            "seed": seed,
+        },
+        "results": results,
+    }
+
+
+def write_artifact(payload: dict, output: Path | str = DEFAULT_ARTIFACT) -> Path:
+    """Write the suite payload as pretty-printed JSON and return the path."""
+    output = Path(output)
+    output.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return output
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--items", type=int, default=2_000_000)
+    parser.add_argument(
+        "--distinct", type=int, default=None, help="default: items // 4"
+    )
+    parser.add_argument("--memory-bits", type=int, default=8_000)
+    parser.add_argument("--n-max", type=int, default=2_000_000)
+    parser.add_argument("--shards", type=int, default=4)
+    parser.add_argument(
+        "--jobs",
+        nargs="+",
+        type=int,
+        default=list(DEFAULT_JOBS),
+        help="worker counts to sweep (must include 1)",
+    )
+    parser.add_argument("--chunk-size", type=int, default=DEFAULT_CHUNK_SIZE)
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument(
+        "--algorithms",
+        nargs="+",
+        default=list(DEFAULT_ALGORITHMS),
+        help=f"default: {' '.join(DEFAULT_ALGORITHMS)}",
+    )
+    parser.add_argument("--output", type=Path, default=DEFAULT_ARTIFACT)
+    args = parser.parse_args(argv)
+
+    payload = run_suite(
+        algorithms=tuple(args.algorithms),
+        num_items=args.items,
+        num_distinct=args.distinct,
+        memory_bits=args.memory_bits,
+        n_max=args.n_max,
+        num_shards=args.shards,
+        jobs_grid=tuple(args.jobs),
+        chunk_size=args.chunk_size,
+        seed=args.seed,
+    )
+    path = write_artifact(payload, args.output)
+    print(f"wrote {path} (cpu_count={payload['cpu_count']})")
+    for name, row in payload["results"].items():
+        single = row["single_sketch"]["items_per_sec"]
+        print(f"{name}: single sketch {single:>12,.0f} items/s")
+        for jobs, cell in row["sharded"].items():
+            print(
+                f"  jobs={jobs}  {cell['items_per_sec']:>12,.0f} items/s"
+                f"  speedup {cell['speedup_vs_1_worker']:>5.2f}x"
+                f"  rel.err {cell['relative_error']:+.3%}"
+            )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

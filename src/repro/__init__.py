@@ -42,6 +42,17 @@ scalar/batch throughput of every sketch and records it in the
 ``examples/batch_throughput.py`` walks through the array-native pipeline end
 to end.
 
+Sharding & serialization
+------------------------
+:class:`repro.pipeline.ShardedCounter` hash-partitions a stream across
+per-shard sketches (ingested serially or on a worker pool) and combines them
+at query time -- bit-identically via ``merge`` for mergeable sketches, with
+the paper's per-link additive combine for the S-bitmap.  Every sketch
+snapshots losslessly through ``state_dict()`` / ``from_state_dict()`` and
+the versioned JSON codec of :mod:`repro.serialize` (the CLI's ``export`` /
+``import-merge`` commands); ``benchmarks/run_bench_shards.py`` tracks the
+per-shard scaling numbers in ``BENCH_shards.json``.
+
 Package layout
 --------------
 * :mod:`repro.core` -- the S-bitmap itself (sketch, dimensioning, estimator,
@@ -55,6 +66,8 @@ Package layout
   large-scale accuracy experiments,
 * :mod:`repro.analysis` -- metrics, the sweep engine, memory models,
 * :mod:`repro.experiments` -- one driver per paper table/figure,
+* :mod:`repro.pipeline` -- sharded parallel ingestion with merge-at-query,
+* :mod:`repro.serialize` -- the versioned sketch snapshot codec,
 * :mod:`repro.cli` -- ``sbitmap`` command-line interface.
 """
 
@@ -65,6 +78,7 @@ from repro.core import (
     SBitmapMarkovChain,
     theory,
 )
+from repro.pipeline import ShardedCounter
 from repro.sketches import (
     AdaptiveSampling,
     DistinctCounter,
@@ -102,6 +116,7 @@ __all__ = [
     "SBitmapDesign",
     "SBitmapEstimator",
     "SBitmapMarkovChain",
+    "ShardedCounter",
     "VirtualBitmap",
     "__version__",
     "available_sketches",

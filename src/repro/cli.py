@@ -2,16 +2,27 @@
 
 Commands
 --------
-``count``      Count distinct lines of a file (or stdin) with any registered
-               sketch and report the estimate (plus the exact answer with
-               ``--exact`` for validation).
-``dimension``  Solve the dimensioning rule: memory needed for a target
-               ``(N, epsilon)``, or the error achieved by a given ``(m, N)``,
-               with the HyperLogLog / LogLog comparison of Section 6.2.
-``experiment`` Run one of the paper's experiment drivers (``figure2``,
-               ``table3``, ...) with reduced default replicates and print the
-               reproduced rows/series.
-``sketches``   List the registered algorithms.
+``count``         Count distinct lines of a file (or stdin) with any
+                  registered sketch and report the estimate (plus the exact
+                  answer with ``--exact`` for validation).  Ingestion runs
+                  through the chunked ``update_batch`` fast path; with
+                  ``--shards N`` the stream is hash-partitioned across a
+                  sharded counter and ``--jobs J`` ingests the shards on a
+                  worker pool (merge-at-query combines them).
+``export``        Count a file and write the sketch snapshot (the versioned
+                  JSON codec of :mod:`repro.serialize`) to disk -- the
+                  per-link/per-site summary of the paper's Section 7 story.
+``import-merge``  Load several exported snapshots and combine them: exact
+                  ``merge`` for mergeable sketches, the per-link additive
+                  combine (sum of estimates over disjoint streams) otherwise.
+``dimension``     Solve the dimensioning rule: memory needed for a target
+                  ``(N, epsilon)``, or the error achieved by a given
+                  ``(m, N)``, with the HyperLogLog / LogLog comparison of
+                  Section 6.2.
+``experiment``    Run one of the paper's experiment drivers (``figure2``,
+                  ``table3``, ...) with reduced default replicates and print
+                  the reproduced rows/series.
+``sketches``      List the registered algorithms.
 """
 
 from __future__ import annotations
@@ -24,9 +35,26 @@ from repro.analysis.memory import memory_budget_report
 from repro.analysis.tables import format_table
 from repro.core.dimensioning import SBitmapDesign, memory_for_error
 from repro.sketches import available_sketches, create_sketch
+from repro.sketches.base import NotMergeableError
 from repro.sketches.exact import ExactCounter
+from repro.streams.file_io import DEFAULT_READ_CHUNK_SIZE, chunked
 
 __all__ = ["main", "build_parser"]
+
+
+def _add_ingest_arguments(parser: argparse.ArgumentParser) -> None:
+    """Input/sketch arguments shared by the ``count`` and ``export`` commands."""
+    parser.add_argument("path", nargs="?", default="-", help="input file, '-' for stdin")
+    parser.add_argument("--algorithm", default="sbitmap", help="registered sketch name")
+    parser.add_argument("--memory-bits", type=int, default=8000, help="memory budget")
+    parser.add_argument("--n-max", type=int, default=1_000_000, help="range bound N")
+    parser.add_argument("--seed", type=int, default=0, help="hash seed")
+    parser.add_argument(
+        "--chunk-size",
+        type=int,
+        default=DEFAULT_READ_CHUNK_SIZE,
+        help="lines per ingestion chunk",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -38,13 +66,43 @@ def build_parser() -> argparse.ArgumentParser:
     subparsers = parser.add_subparsers(dest="command", required=True)
 
     count = subparsers.add_parser("count", help="count distinct lines of a file/stdin")
-    count.add_argument("path", nargs="?", default="-", help="input file, '-' for stdin")
-    count.add_argument("--algorithm", default="sbitmap", help="registered sketch name")
-    count.add_argument("--memory-bits", type=int, default=8000, help="memory budget")
-    count.add_argument("--n-max", type=int, default=1_000_000, help="range bound N")
-    count.add_argument("--seed", type=int, default=0, help="hash seed")
+    _add_ingest_arguments(count)
     count.add_argument(
         "--exact", action="store_true", help="also compute the exact count"
+    )
+    count.add_argument(
+        "--shards",
+        type=int,
+        default=1,
+        help="hash-partition the stream across this many shard sketches",
+    )
+    count.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes for shard ingestion (requires --shards > 1)",
+    )
+
+    export = subparsers.add_parser(
+        "export", help="count a file and write the sketch snapshot to disk"
+    )
+    _add_ingest_arguments(export)
+    export.add_argument(
+        "--output", required=True, help="destination file for the snapshot JSON"
+    )
+
+    import_merge = subparsers.add_parser(
+        "import-merge",
+        help="combine exported snapshots: merge, or sum over disjoint streams",
+    )
+    import_merge.add_argument(
+        "payloads", nargs="+", help="snapshot files written by 'export'"
+    )
+    import_merge.add_argument(
+        "--additive",
+        action="store_true",
+        help="force the per-link additive combine (sum of estimates) even for "
+        "mergeable sketches; only valid when the inputs saw disjoint streams",
     )
 
     dimension = subparsers.add_parser(
@@ -94,26 +152,151 @@ def _read_items(path: str) -> Iterable[str]:
             yield line.rstrip("\n")
 
 
-def _command_count(args: argparse.Namespace) -> int:
+def _check_chunk_size(args: argparse.Namespace) -> None:
+    if args.chunk_size < 1:
+        raise SystemExit(f"--chunk-size must be positive, got {args.chunk_size}")
+
+
+def _ingest_single_sketch(args: argparse.Namespace, exact: ExactCounter | None = None):
+    """Chunked single-sketch ingestion shared by ``count`` and ``export``."""
+    _check_chunk_size(args)
     sketch = create_sketch(args.algorithm, args.memory_bits, args.n_max, seed=args.seed)
-    exact = ExactCounter() if args.exact else None
-    for item in _read_items(args.path):
-        sketch.add(item)
+    for chunk in chunked(_read_items(args.path), args.chunk_size):
+        sketch.update_batch(chunk)
         if exact is not None:
-            exact.add(item)
+            exact.update_batch(chunk)
+    return sketch
+
+
+def _ingest_counter(args: argparse.Namespace):
+    """Build the counter described by ``args`` and ingest the input stream.
+
+    Returns ``(counter, exact)`` where ``counter`` is either a single sketch
+    or a :class:`~repro.pipeline.ShardedCounter`.  Both paths ingest through
+    chunked ``update_batch`` -- the vectorised fast path hashes each chunk
+    with one array call instead of one interpreted ``add`` per line.
+    """
+    if args.shards < 1:
+        raise SystemExit(f"--shards must be positive, got {args.shards}")
+    if args.jobs > 1 and args.shards == 1:
+        raise SystemExit("--jobs > 1 requires --shards > 1")
+    exact = ExactCounter() if args.exact else None
+    if args.shards > 1:
+        from repro.pipeline import ShardedCounter
+
+        _check_chunk_size(args)
+        chunks = chunked(_read_items(args.path), args.chunk_size)
+        counter = ShardedCounter(
+            args.algorithm,
+            args.memory_bits,
+            args.n_max,
+            num_shards=args.shards,
+            seed=args.seed,
+        )
+        if exact is not None:
+            # Tee each chunk into the exact counter on the way to the sharded
+            # ingest, so --exact validation keeps the requested --jobs.
+            def tee(stream, sink=exact):
+                for chunk in stream:
+                    sink.update_batch(chunk)
+                    yield chunk
+
+            chunks = tee(chunks)
+        counter.ingest(chunks, jobs=args.jobs)
+        return counter, exact
+    return _ingest_single_sketch(args, exact), exact
+
+
+def _command_count(args: argparse.Namespace) -> int:
+    counter, exact = _ingest_counter(args)
+    # One estimate() call: for sharded mergeable counters each call re-runs
+    # the merge-at-query combine.
+    estimate = counter.estimate()
     rows: list[list[object]] = [
         ["algorithm", args.algorithm],
-        ["memory bits", sketch.memory_bits()],
-        ["estimate", round(sketch.estimate(), 1)],
+        ["memory bits", counter.memory_bits()],
+        ["estimate", round(estimate, 1)],
     ]
+    if args.shards > 1:
+        rows.insert(1, ["shards", args.shards])
+        combine = "merge" if counter.mergeable else "additive"
+        rows.insert(2, ["combine", combine])
     if exact is not None:
         truth = exact.estimate()
         rows.append(["exact", int(truth)])
         if truth > 0:
             rows.append(
-                ["relative error (%)", round(100 * (sketch.estimate() / truth - 1), 2)]
+                ["relative error (%)", round(100 * (estimate / truth - 1), 2)]
             )
     print(format_table(["field", "value"], rows))
+    return 0
+
+
+def _command_export(args: argparse.Namespace) -> int:
+    from repro import serialize
+
+    sketch = _ingest_single_sketch(args)
+    path = serialize.dump(sketch, args.output)
+    rows = [
+        ["algorithm", args.algorithm],
+        ["estimate", round(sketch.estimate(), 1)],
+        ["snapshot", str(path)],
+    ]
+    print(format_table(["field", "value"], rows))
+    return 0
+
+
+def _command_import_merge(args: argparse.Namespace) -> int:
+    from repro import serialize
+    from repro.sketches.base import DistinctCounter
+
+    sketches = [serialize.load(path) for path in args.payloads]
+    for path, sketch in zip(args.payloads, sketches):
+        if not isinstance(sketch, DistinctCounter):
+            raise SystemExit(
+                f"{path}: snapshot holds a {type(sketch).__name__}, which "
+                "import-merge cannot combine (only plain sketch snapshots)"
+            )
+    names = {type(sketch).__name__ for sketch in sketches}
+    if len(names) > 1:
+        raise SystemExit(
+            f"cannot combine snapshots of different algorithms: {sorted(names)}"
+        )
+    rows: list[list[object]] = [
+        [path, round(sketch.estimate(), 1)]
+        for path, sketch in zip(args.payloads, sketches)
+    ]
+    mergeable = sketches[0].mergeable and not args.additive
+    if mergeable:
+        # Summaries only merge meaningfully when built with the same hash
+        # function: register/bit layouts match across seeds, so the sketches'
+        # own merge checks cannot catch a seed mismatch, but the union of
+        # differently-hashed summaries is garbage.  (The exact counter stores
+        # canonical keys, not hashes, and carries no hash family.)
+        hash_configs = [
+            sketch._hash.config_dict() if hasattr(sketch, "_hash") else None
+            for sketch in sketches
+        ]
+        if any(config != hash_configs[0] for config in hash_configs[1:]):
+            raise SystemExit(
+                "snapshots were built with different hash configurations "
+                "(seeds); their summaries cannot be merged -- re-export every "
+                "site with a shared seed"
+            )
+        combined = sketches[0].copy()
+        for other in sketches[1:]:
+            try:
+                combined.merge(other)
+            except (NotMergeableError, ValueError) as error:
+                raise SystemExit(f"cannot merge snapshots: {error}") from error
+        rows.append(["combined (merge)", round(combined.estimate(), 1)])
+    else:
+        # Per-link additive combine: valid when each snapshot summarises a
+        # disjoint stream (different links/sites or a hash partition), where
+        # the independent unbiased estimates sum.
+        total = sum(sketch.estimate() for sketch in sketches)
+        rows.append(["combined (additive)", round(total, 1)])
+    print(format_table(["snapshot", "estimate"], rows))
     return 0
 
 
@@ -197,6 +380,10 @@ def main(argv: Sequence[str] | None = None) -> int:
     args = parser.parse_args(argv)
     if args.command == "count":
         return _command_count(args)
+    if args.command == "export":
+        return _command_export(args)
+    if args.command == "import-merge":
+        return _command_import_merge(args)
     if args.command == "dimension":
         return _command_dimension(args)
     if args.command == "experiment":

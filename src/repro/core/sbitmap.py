@@ -30,8 +30,8 @@ import numpy as np
 
 from repro.core.dimensioning import SBitmapDesign
 from repro.core.estimator import SBitmapEstimator
-from repro.hashing.family import HashFamily, MixerHashFamily
-from repro.sketches.base import DistinctCounter
+from repro.hashing.family import HashFamily, MixerHashFamily, hash_family_from_config
+from repro.sketches.base import DistinctCounter, pack_bool_array, unpack_bool_array
 
 __all__ = ["SBitmap"]
 
@@ -280,6 +280,12 @@ class SBitmap(DistinctCounter):
         every design this library builds); :meth:`from_dict` validates the
         ``(num_bits, n_max, precision)`` triple against equation (7) and
         rejects hand-built designs with an unrelated precision constant.
+
+        This payload doubles as the sketch's ``state_dict()`` under the
+        uniform snapshot protocol of :mod:`repro.sketches.base`, so
+        :mod:`repro.serialize` round-trips S-bitmaps like any other sketch.
+        The full hash-family configuration is stored under ``"hash"``; the
+        flat ``"seed"`` stays for payloads written before that key existed.
         """
         return {
             "name": self.name,
@@ -287,9 +293,10 @@ class SBitmap(DistinctCounter):
             "n_max": self.design.n_max,
             "precision": self.design.precision,
             "seed": getattr(self._hash, "seed", 0),
+            "hash": self._hash.config_dict(),
             "fill_count": self._fill_count,
             "items_seen": self._items_seen,
-            "bits": np.packbits(self._bits).tobytes().hex(),
+            "bits": pack_bool_array(self._bits),
         }
 
     @classmethod
@@ -319,9 +326,11 @@ class SBitmap(DistinctCounter):
                 "payload was produced by a different design or corrupted"
             )
         design = SBitmapDesign(num_bits=num_bits, n_max=n_max, precision=precision)
-        sketch = cls(design, seed=int(payload.get("seed", 0)))
-        packed = np.frombuffer(bytes.fromhex(payload["bits"]), dtype=np.uint8)
-        bits = np.unpackbits(packed)[: design.num_bits].astype(bool)
+        if "hash" in payload:
+            sketch = cls(design, hash_family=hash_family_from_config(payload["hash"]))
+        else:
+            sketch = cls(design, seed=int(payload.get("seed", 0)))
+        bits = unpack_bool_array(payload["bits"], design.num_bits)
         fill_count = int(payload["fill_count"])
         occupied = int(np.count_nonzero(bits))
         if fill_count != occupied:
@@ -333,6 +342,15 @@ class SBitmap(DistinctCounter):
         sketch._fill_count = fill_count
         sketch._items_seen = int(payload.get("items_seen", 0))
         return sketch
+
+    def state_dict(self) -> dict:
+        """Uniform snapshot protocol: alias of :meth:`to_dict`."""
+        return self.to_dict()
+
+    @classmethod
+    def from_state_dict(cls, state: dict) -> "SBitmap":
+        """Uniform snapshot protocol: alias of :meth:`from_dict`."""
+        return cls.from_dict(state)
 
     def to_json(self) -> str:
         """Serialise to a JSON string."""

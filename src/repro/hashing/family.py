@@ -38,6 +38,13 @@ from repro.hashing.mixers import (
     splitmix64_stream,
 )
 
+__all__ = [
+    "HashFamily",
+    "MixerHashFamily",
+    "TabulationHashFamily",
+    "hash_family_from_config",
+]
+
 
 class HashFamily(abc.ABC):
     """Abstract seeded hash family mapping items to 64 uniform bits."""
@@ -108,6 +115,19 @@ class HashFamily(abc.ABC):
         derived_seed = splitmix64((self.seed ^ 0xA5A5A5A5A5A5A5A5) + stream_index)
         return type(self)(seed=derived_seed)
 
+    def config_dict(self) -> dict:
+        """JSON-serialisable configuration from which the family can be rebuilt.
+
+        Hash families are deterministic given their configuration (tables and
+        derived constants are recomputed from the seed), so configuration is
+        all a sketch snapshot needs to store -- :func:`hash_family_from_config`
+        is the inverse.
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} does not implement config_dict(); "
+            "sketches using it cannot be serialized"
+        )
+
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"{type(self).__name__}(seed={self.seed})"
 
@@ -145,6 +165,9 @@ class MixerHashFamily(HashFamily):
     def spawn(self, stream_index: int) -> "MixerHashFamily":
         derived_seed = splitmix64((self.seed ^ 0xA5A5A5A5A5A5A5A5) + stream_index)
         return MixerHashFamily(seed=derived_seed, mixer=self.mixer)
+
+    def config_dict(self) -> dict:
+        return {"kind": "mixer", "seed": self.seed, "mixer": self.mixer}
 
 
 class TabulationHashFamily(HashFamily):
@@ -185,3 +208,27 @@ class TabulationHashFamily(HashFamily):
             bytes_ = (keys >> np.uint64(8 * table_index)) & np.uint64(0xFF)
             result ^= self._table_array[table_index][bytes_.astype(np.intp)]
         return result
+
+    def config_dict(self) -> dict:
+        return {"kind": "tabulation", "seed": self.seed}
+
+
+def hash_family_from_config(config: dict) -> HashFamily:
+    """Rebuild a hash family from :meth:`HashFamily.config_dict` output.
+
+    All keys are required: a config missing its seed (or mixer) would
+    otherwise restore a *different* hash function and silently diverge from
+    the sketch state it accompanies, so corruption fails loudly here like in
+    every other restore path.
+    """
+    kind = config.get("kind")
+    if "seed" not in config:
+        raise ValueError(f"hash family config has no 'seed': {config!r}")
+    seed = int(config["seed"])
+    if kind == "mixer":
+        if "mixer" not in config:
+            raise ValueError(f"mixer hash family config has no 'mixer': {config!r}")
+        return MixerHashFamily(seed=seed, mixer=config["mixer"])
+    if kind == "tabulation":
+        return TabulationHashFamily(seed=seed)
+    raise ValueError(f"unknown hash family kind {kind!r}")

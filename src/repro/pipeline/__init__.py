@@ -1,0 +1,12 @@
+"""Distribution layer: hash-partitioned parallel ingestion, merge-at-query.
+
+:class:`~repro.pipeline.sharded.ShardedCounter` routes a stream's key space
+across disjoint shard sketches (ingested serially or on a worker pool) and
+answers queries by merging the shards -- exactly for mergeable sketches, with
+the paper's per-link additive combine for the S-bitmap.  See the module
+docstring of :mod:`repro.pipeline.sharded` for the accuracy guarantees.
+"""
+
+from repro.pipeline.sharded import ShardedCounter, partition_chunk
+
+__all__ = ["ShardedCounter", "partition_chunk"]

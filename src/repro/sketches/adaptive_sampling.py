@@ -15,7 +15,7 @@ one of the paper's motivating examples of a *non* scale-invariant method.
 
 from __future__ import annotations
 
-from repro.hashing.family import HashFamily, MixerHashFamily
+from repro.hashing.family import HashFamily, MixerHashFamily, hash_family_from_config
 from repro.sketches.base import DistinctCounter
 
 __all__ = ["AdaptiveSampling"]
@@ -83,6 +83,28 @@ class AdaptiveSampling(DistinctCounter):
     def memory_bits(self) -> int:
         """``capacity`` slots of ``key_bits`` bits (allocation, not occupancy)."""
         return self.capacity * self.key_bits
+
+    def state_dict(self) -> dict:
+        """Snapshot: capacity, hash configuration, depth and the sample."""
+        return {
+            "name": self.name,
+            "capacity": self.capacity,
+            "key_bits": self.key_bits,
+            "hash": self._hash.config_dict(),
+            "depth": self._depth,
+            "sample": sorted(self._sample),
+        }
+
+    @classmethod
+    def from_state_dict(cls, state: dict) -> "AdaptiveSampling":
+        sketch = cls(
+            capacity=int(state["capacity"]),
+            key_bits=int(state["key_bits"]),
+            hash_family=hash_family_from_config(state["hash"]),
+        )
+        sketch._depth = int(state["depth"])
+        sketch._sample = {int(value) for value in state["sample"]}
+        return sketch
 
     @property
     def depth(self) -> int:

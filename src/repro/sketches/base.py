@@ -16,12 +16,18 @@ implement :class:`DistinctCounter`.  The interface is intentionally small:
   are not charged),
 * ``merge(other)``         -- combine two sketches built over different streams
   into one describing the union, when the algorithm supports it
-  (``mergeable`` tells you in advance; S-bitmap famously is not mergeable).
+  (``mergeable`` tells you in advance; S-bitmap famously is not mergeable),
+* ``state_dict()`` / ``from_state_dict(state)`` -- lossless snapshot/restore
+  of configuration *and* state as a JSON-serialisable dict.  A restored
+  sketch answers the same ``estimate()``/``memory_bits()`` and evolves
+  identically under further ingestion; :mod:`repro.serialize` wraps the
+  snapshot in a versioned envelope for files and the wire.
 
-A module-level registry maps short algorithm names (``"sbitmap"``,
-``"hyperloglog"``, ...) to factory callables so experiments and the CLI can
-construct sketches by name with a uniform ``(memory budget, n_max, seed)``
-signature.
+Two module-level registries support construction by name: factories
+(``"sbitmap"``, ``"hyperloglog"``, ... to ``(memory budget, n_max, seed)``
+callables, for experiments and the CLI) and classes (sketch name to the
+implementing class, populated automatically via ``__init_subclass__``, for
+deserialization).
 """
 
 from __future__ import annotations
@@ -37,8 +43,37 @@ __all__ = [
     "SketchFactory",
     "available_sketches",
     "create_sketch",
+    "pack_bool_array",
     "register_sketch",
+    "sketch_class",
+    "sketch_from_state",
+    "unpack_bool_array",
 ]
+
+#: Size of the slices the non-vectorised ``update_batch`` fallback converts
+#: at a time: large enough to amortise the ``tolist`` call, small enough that
+#: the temporary Python-object list never rivals the chunk itself in memory.
+FALLBACK_SLICE_SIZE = 8_192
+
+
+def pack_bool_array(bits: np.ndarray) -> str:
+    """Pack a boolean array into a hex string (8 bits per byte, MSB first)."""
+    return np.packbits(np.asarray(bits, dtype=bool)).tobytes().hex()
+
+
+def unpack_bool_array(payload: str, length: int) -> np.ndarray:
+    """Inverse of :func:`pack_bool_array` for a known ``length``."""
+    packed = np.frombuffer(bytes.fromhex(payload), dtype=np.uint8)
+    bits = np.unpackbits(packed)
+    # packbits pads to whole bytes, so a valid payload has exactly
+    # ceil(length / 8) * 8 bits; anything else means the declared size and
+    # the bitmap disagree and truncating would load silently-corrupt state.
+    expected = ((length + 7) // 8) * 8
+    if bits.size != expected:
+        raise ValueError(
+            f"packed bitmap holds {bits.size} bits but {length} were expected"
+        )
+    return bits[:length].astype(bool)
 
 
 class NotMergeableError(TypeError):
@@ -54,6 +89,29 @@ class DistinctCounter(abc.ABC):
     #: Whether two sketches with identical configuration can be merged into a
     #: sketch of the union stream.
     mergeable: bool = False
+
+    def __init_subclass__(cls, **kwargs) -> None:
+        super().__init_subclass__(**kwargs)
+        # Auto-register concrete sketch classes by their declared name so the
+        # serialization codec can find the class for a snapshot.  Subclasses
+        # that do not declare their own ``name`` (helpers, test doubles)
+        # inherit the parent's registration rather than overwrite it.
+        name = cls.__dict__.get("name")
+        if isinstance(name, str) and name and name != "abstract":
+            key = name.lower()
+            existing = _CLASS_REGISTRY.get(key)
+            if existing is not None and (
+                existing.__module__,
+                existing.__qualname__,
+            ) != (cls.__module__, cls.__qualname__):
+                # Same name from a different class would make snapshot
+                # dispatch ambiguous; fail like register_sketch does.  The
+                # same class re-executing (importlib.reload) stays allowed.
+                raise ValueError(
+                    f"sketch name {name!r} is already registered to "
+                    f"{existing.__module__}.{existing.__qualname__}"
+                )
+            _CLASS_REGISTRY[key] = cls
 
     @abc.abstractmethod
     def add(self, item: object) -> None:
@@ -83,9 +141,17 @@ class DistinctCounter(abc.ABC):
         falls back to sequential :meth:`update`, so ``update_batch`` is
         always available and always produces state identical to item-by-item
         ingestion of the same chunk.
+
+        NumPy chunks are converted to Python integers in bounded slices
+        (:data:`FALLBACK_SLICE_SIZE` keys at a time) rather than one
+        whole-chunk ``tolist()`` call, so feeding a large array chunk to a
+        non-vectorised sketch never doubles the chunk's footprint with a
+        transient list of boxed integers.
         """
         if isinstance(items, np.ndarray):
-            items = items.tolist()
+            for start in range(0, items.shape[0], FALLBACK_SLICE_SIZE):
+                self.update(items[start : start + FALLBACK_SLICE_SIZE].tolist())
+            return
         self.update(items)
 
     def merge(self, other: "DistinctCounter") -> "DistinctCounter":
@@ -98,6 +164,24 @@ class DistinctCounter(abc.ABC):
             f"{type(self).__name__} sketches cannot be merged; build one sketch "
             "over the concatenated stream instead"
         )
+
+    def state_dict(self) -> dict:
+        """JSON-serialisable snapshot of configuration and state.
+
+        The returned dict must contain a ``"name"`` key equal to the sketch's
+        registered algorithm name; :meth:`from_state_dict` of the same class
+        inverts it losslessly (same ``estimate()``/``memory_bits()`` and the
+        same evolution under further ingestion).  Use :mod:`repro.serialize`
+        for the versioned file/wire envelope around this snapshot.
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} does not implement state_dict()"
+        )
+
+    @classmethod
+    def from_state_dict(cls, state: dict) -> "DistinctCounter":
+        """Rebuild a sketch from :meth:`state_dict` output."""
+        raise NotImplementedError(f"{cls.__name__} does not implement from_state_dict()")
 
     def copy(self) -> "DistinctCounter":
         """Deep copy of the sketch (state and configuration)."""
@@ -116,6 +200,31 @@ class DistinctCounter(abc.ABC):
 SketchFactory = Callable[[int, int, int], DistinctCounter]
 
 _REGISTRY: dict[str, SketchFactory] = {}
+
+#: Sketch name -> implementing class, populated by
+#: ``DistinctCounter.__init_subclass__`` as sketch modules are imported.
+_CLASS_REGISTRY: dict[str, type] = {}
+
+
+def sketch_class(name: str) -> type:
+    """Return the class implementing the sketch registered under ``name``."""
+    key = name.lower()
+    if key not in _CLASS_REGISTRY:
+        known = ", ".join(sorted(_CLASS_REGISTRY)) or "<none>"
+        raise KeyError(f"unknown sketch class {name!r}; known classes: {known}")
+    return _CLASS_REGISTRY[key]
+
+
+def sketch_from_state(state: dict) -> DistinctCounter:
+    """Rebuild any registered sketch from a ``state_dict()`` snapshot.
+
+    Dispatches on the snapshot's ``"name"`` key to the implementing class and
+    delegates to its ``from_state_dict``.
+    """
+    name = state.get("name")
+    if not isinstance(name, str):
+        raise ValueError("sketch state has no 'name' key to dispatch on")
+    return sketch_class(name).from_state_dict(state)
 
 
 def register_sketch(name: str, factory: SketchFactory) -> None:

@@ -20,10 +20,17 @@ counting behaviour.
 from __future__ import annotations
 
 from repro.hashing.bits import rho
-from repro.hashing.family import HashFamily, MixerHashFamily
+from repro.hashing.family import HashFamily, MixerHashFamily, hash_family_from_config
 from repro.sketches.base import DistinctCounter
 
 __all__ = ["DistinctSampling"]
+
+
+def _restore_item(item: object) -> object:
+    """Undo JSON's tuple -> list coercion on snapshot restore."""
+    if isinstance(item, list):
+        return tuple(_restore_item(element) for element in item)
+    return item
 
 
 class DistinctSampling(DistinctCounter):
@@ -87,6 +94,44 @@ class DistinctSampling(DistinctCounter):
     def sampled_items(self) -> list[object]:
         """The currently retained distinct items (Gibbons' 'event report' view)."""
         return [entry[1] for entry in self._sample.values()]
+
+    def state_dict(self) -> dict:
+        """Snapshot: capacity, hash configuration, level and the sample.
+
+        The retained *items* travel through the snapshot as JSON values, so
+        they must be JSON-representable (strings, numbers, tuples of those --
+        the item types this library's streams produce).  JSON cannot tell a
+        tuple from a list, and sequence-valued stream items are tuples in
+        every reader this library ships (CSV flow keys), so arrays are
+        restored as tuples; a caller who fed raw *lists* as items gets them
+        back as tuples -- a documented deviation that changes neither the
+        estimate nor the hashing of further ingestion of the same items.
+        """
+        return {
+            "name": self.name,
+            "capacity": self.capacity,
+            "key_bits": self.key_bits,
+            "hash": self._hash.config_dict(),
+            "level": self._level,
+            "sample": [
+                [value, entry[0], entry[1]]
+                for value, entry in sorted(self._sample.items())
+            ],
+        }
+
+    @classmethod
+    def from_state_dict(cls, state: dict) -> "DistinctSampling":
+        sketch = cls(
+            capacity=int(state["capacity"]),
+            key_bits=int(state["key_bits"]),
+            hash_family=hash_family_from_config(state["hash"]),
+        )
+        sketch._level = int(state["level"])
+        sketch._sample = {
+            int(value): (int(level), _restore_item(item))
+            for value, level, item in state["sample"]
+        }
+        return sketch
 
     @property
     def level(self) -> int:

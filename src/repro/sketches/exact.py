@@ -42,6 +42,16 @@ class ExactCounter(DistinctCounter):
         self._keys |= other._keys
         return self
 
+    def state_dict(self) -> dict:
+        """Snapshot: the sorted canonical key set (64-bit unsigned ints)."""
+        return {"name": self.name, "keys": sorted(self._keys)}
+
+    @classmethod
+    def from_state_dict(cls, state: dict) -> "ExactCounter":
+        sketch = cls()
+        sketch._keys = {int(key) for key in state["keys"]}
+        return sketch
+
     def __contains__(self, item: object) -> bool:
         return key_to_int(item) in self._keys
 

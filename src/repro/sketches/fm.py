@@ -19,8 +19,8 @@ import numpy as np
 
 from repro.hashing.arrays import rho_array
 from repro.hashing.bits import rho
-from repro.hashing.family import HashFamily, MixerHashFamily
-from repro.sketches.base import DistinctCounter
+from repro.hashing.family import HashFamily, MixerHashFamily, hash_family_from_config
+from repro.sketches.base import DistinctCounter, pack_bool_array, unpack_bool_array
 
 __all__ = ["FlajoletMartin"]
 
@@ -127,6 +127,29 @@ class FlajoletMartin(DistinctCounter):
             raise ValueError("cannot merge sketches with different configurations")
         self._vectors |= other._vectors
         return self
+
+    def state_dict(self) -> dict:
+        """Snapshot: layout, hash configuration and the packed bit matrix."""
+        return {
+            "name": self.name,
+            "num_sketches": self.num_sketches,
+            "vector_bits": self.vector_bits,
+            "hash": self._hash.config_dict(),
+            "vectors": pack_bool_array(self._vectors.reshape(-1)),
+        }
+
+    @classmethod
+    def from_state_dict(cls, state: dict) -> "FlajoletMartin":
+        sketch = cls(
+            num_sketches=int(state["num_sketches"]),
+            vector_bits=int(state["vector_bits"]),
+            hash_family=hash_family_from_config(state["hash"]),
+        )
+        flat = unpack_bool_array(
+            state["vectors"], sketch.num_sketches * sketch.vector_bits
+        )
+        sketch._vectors = flat.reshape(sketch.num_sketches, sketch.vector_bits)
+        return sketch
 
     @property
     def vectors(self) -> np.ndarray:

@@ -19,7 +19,7 @@ import heapq
 
 import numpy as np
 
-from repro.hashing.family import HashFamily, MixerHashFamily
+from repro.hashing.family import HashFamily, MixerHashFamily, hash_family_from_config
 from repro.sketches.base import DistinctCounter
 
 __all__ = ["KMinimumValues"]
@@ -131,6 +131,34 @@ class KMinimumValues(DistinctCounter):
             1 for value in union if value in self._members and value in other._members
         )
         return shared / len(union)
+
+    def state_dict(self) -> dict:
+        """Snapshot: ``k``, hash configuration and the retained hash values.
+
+        The synopsis is stored sorted; the heap's internal ordering is an
+        implementation detail and is rebuilt deterministically on restore.
+        """
+        return {
+            "name": self.name,
+            "k": self.k,
+            "hash": self._hash.config_dict(),
+            "members": sorted(self._members),
+        }
+
+    @classmethod
+    def from_state_dict(cls, state: dict) -> "KMinimumValues":
+        sketch = cls(
+            k=int(state["k"]), hash_family=hash_family_from_config(state["hash"])
+        )
+        members = sorted(int(value) for value in state["members"])
+        if len(members) > sketch.k:
+            raise ValueError(
+                f"KMV state holds {len(members)} values but k={sketch.k}"
+            )
+        sketch._members = set(members)
+        sketch._heap = [-value for value in members]
+        heapq.heapify(sketch._heap)
+        return sketch
 
     @property
     def sample_size(self) -> int:

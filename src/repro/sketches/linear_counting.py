@@ -18,8 +18,8 @@ import math
 
 import numpy as np
 
-from repro.hashing.family import HashFamily, MixerHashFamily
-from repro.sketches.base import DistinctCounter
+from repro.hashing.family import HashFamily, MixerHashFamily, hash_family_from_config
+from repro.sketches.base import DistinctCounter, pack_bool_array, unpack_bool_array
 
 __all__ = ["LinearCounting", "linear_counting_estimate"]
 
@@ -108,6 +108,24 @@ class LinearCounting(DistinctCounter):
             raise ValueError("cannot merge bitmaps of different sizes")
         self._bits |= other._bits
         return self
+
+    def state_dict(self) -> dict:
+        """Snapshot: bitmap size, hash configuration and the packed bitmap."""
+        return {
+            "name": self.name,
+            "num_bits": self.num_bits,
+            "hash": self._hash.config_dict(),
+            "bits": pack_bool_array(self._bits),
+        }
+
+    @classmethod
+    def from_state_dict(cls, state: dict) -> "LinearCounting":
+        sketch = cls(
+            num_bits=int(state["num_bits"]),
+            hash_family=hash_family_from_config(state["hash"]),
+        )
+        sketch._bits = unpack_bool_array(state["bits"], sketch.num_bits)
+        return sketch
 
     @property
     def occupied(self) -> int:

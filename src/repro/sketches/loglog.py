@@ -25,7 +25,7 @@ import numpy as np
 from repro.core.theory import register_width_bits
 from repro.hashing.arrays import rho_array
 from repro.hashing.bits import rho
-from repro.hashing.family import HashFamily, MixerHashFamily
+from repro.hashing.family import HashFamily, MixerHashFamily, hash_family_from_config
 from repro.sketches.base import DistinctCounter
 
 __all__ = ["LogLog", "loglog_alpha", "loglog_estimate"]
@@ -170,6 +170,36 @@ class LogLog(DistinctCounter):
             self.register_width,
         ):
             raise ValueError("cannot merge sketches with different configurations")
+
+    def state_dict(self) -> dict:
+        """Snapshot: register layout, hash configuration and register bytes.
+
+        Shared with :class:`~repro.sketches.hyperloglog.HyperLogLog` (same
+        summary statistic, ``self.name`` distinguishes the two on restore).
+        """
+        return {
+            "name": self.name,
+            "num_registers": self.num_registers,
+            "register_width": self.register_width,
+            "hash": self._hash.config_dict(),
+            "registers": self._registers.tobytes().hex(),
+        }
+
+    @classmethod
+    def from_state_dict(cls, state: dict) -> "LogLog":
+        sketch = cls(
+            num_registers=int(state["num_registers"]),
+            register_width=int(state["register_width"]),
+            hash_family=hash_family_from_config(state["hash"]),
+        )
+        registers = np.frombuffer(bytes.fromhex(state["registers"]), dtype=np.uint8)
+        if registers.size != sketch.num_registers:
+            raise ValueError(
+                f"register payload holds {registers.size} registers but "
+                f"{sketch.num_registers} were expected"
+            )
+        sketch._registers = registers.copy()
+        return sketch
 
     @property
     def registers(self) -> np.ndarray:

@@ -58,6 +58,40 @@ class MorrisCounter:
         """Bits needed to store the register value."""
         return max(1, int(self._register).bit_length())
 
+    def state_dict(self) -> dict:
+        """Snapshot: base, register and the full RNG state.
+
+        Morris is not a :class:`~repro.sketches.base.DistinctCounter` (it
+        counts events, not distinct items) but follows the same snapshot
+        protocol so :mod:`repro.serialize` can persist it too.  The NumPy
+        bit-generator state is captured verbatim, so a restored counter
+        continues the exact random sequence of the original.
+        """
+        return {
+            "name": "morris",
+            "base": self.base,
+            "register": self._register,
+            "rng_state": self._rng.bit_generator.state,
+        }
+
+    @classmethod
+    def from_state_dict(cls, state: dict) -> "MorrisCounter":
+        rng_state = state["rng_state"]
+        bit_generator_name = rng_state.get("bit_generator", "PCG64")
+        bit_generator_cls = getattr(np.random, str(bit_generator_name), None)
+        if not (
+            isinstance(bit_generator_cls, type)
+            and issubclass(bit_generator_cls, np.random.BitGenerator)
+        ):
+            raise ValueError(
+                f"payload names unknown bit generator {bit_generator_name!r}"
+            )
+        bit_generator = bit_generator_cls()
+        bit_generator.state = rng_state
+        counter = cls(base=float(state["base"]), rng=np.random.Generator(bit_generator))
+        counter._register = int(state["register"])
+        return counter
+
     @property
     def register(self) -> int:
         """Current register value ``X``."""

@@ -31,8 +31,8 @@ import math
 import numpy as np
 
 from repro.hashing.arrays import rho_array
-from repro.hashing.family import HashFamily, MixerHashFamily
-from repro.sketches.base import DistinctCounter
+from repro.hashing.family import HashFamily, MixerHashFamily, hash_family_from_config
+from repro.sketches.base import DistinctCounter, pack_bool_array, unpack_bool_array
 
 __all__ = ["MultiresolutionBitmap", "mr_bitmap_estimate"]
 
@@ -250,3 +250,32 @@ class MultiresolutionBitmap(DistinctCounter):
     def component_occupancies(self) -> list[int]:
         """Number of set bits per component (coarsest first)."""
         return [int(np.count_nonzero(bits)) for bits in self._components]
+
+    def state_dict(self) -> dict:
+        """Snapshot: design, hash configuration and per-component bitmaps."""
+        return {
+            "name": self.name,
+            "component_sizes": list(self.component_sizes),
+            "fill_threshold": self.fill_threshold,
+            "hash": self._hash.config_dict(),
+            "components": [pack_bool_array(bits) for bits in self._components],
+        }
+
+    @classmethod
+    def from_state_dict(cls, state: dict) -> "MultiresolutionBitmap":
+        sizes = [int(size) for size in state["component_sizes"]]
+        packed = state["components"]
+        if len(packed) != len(sizes):
+            raise ValueError(
+                f"mr-bitmap state has {len(packed)} components but "
+                f"{len(sizes)} component sizes"
+            )
+        sketch = cls(
+            component_sizes=sizes,
+            fill_threshold=float(state["fill_threshold"]),
+            hash_family=hash_family_from_config(state["hash"]),
+        )
+        sketch._components = [
+            unpack_bool_array(payload, size) for payload, size in zip(packed, sizes)
+        ]
+        return sketch

@@ -11,13 +11,20 @@ module supports the two simplest portable formats:
 There is also a writer that materialises the synthetic Slammer trace as a CSV
 flow log, so the whole Section 7.1 pipeline can be exercised end-to-end from
 files on disk.
+
+Chunked readers (``read_line_chunks``, ``read_csv_key_chunks``, plus the
+generic :func:`chunked`) yield bounded lists of items instead of single
+items, sized to feed ``DistinctCounter.update_batch`` and the sharded
+pipeline of :mod:`repro.pipeline` directly -- a file of any size streams
+through the vectorised ingestion path without ever being materialised.
 """
 
 from __future__ import annotations
 
 import csv
+from itertools import islice
 from pathlib import Path
-from typing import Iterable, Iterator
+from typing import Iterable, Iterator, TypeVar
 
 from repro.streams.network import SlammerTraceGenerator
 
@@ -26,8 +33,18 @@ __all__ = [
     "write_lines",
     "read_csv_keys",
     "write_flow_csv",
+    "chunked",
+    "read_line_chunks",
+    "read_csv_key_chunks",
+    "DEFAULT_READ_CHUNK_SIZE",
     "FLOW_CSV_COLUMNS",
 ]
+
+#: Default chunk length of the chunked readers: matches the array-native
+#: stream chunking of :mod:`repro.streams.generators`.
+DEFAULT_READ_CHUNK_SIZE = 1 << 16
+
+_T = TypeVar("_T")
 
 #: Column layout produced by :func:`write_flow_csv`.
 FLOW_CSV_COLUMNS = ("minute", "src_ip", "dst_ip", "src_port", "dst_port", "protocol")
@@ -47,6 +64,48 @@ def write_lines(items: Iterable[object], path: str | Path) -> Path:
         for item in items:
             handle.write(f"{item}\n")
     return destination
+
+
+def chunked(items: Iterable[_T], chunk_size: int = DEFAULT_READ_CHUNK_SIZE) -> Iterator[list[_T]]:
+    """Yield ``items`` in lists of at most ``chunk_size`` (lazy, order-preserving).
+
+    The generic building block of the chunked readers; also used by the CLI
+    to batch stdin.  Never materialises more than one chunk.
+    """
+    if chunk_size < 1:
+        raise ValueError(f"chunk_size must be positive, got {chunk_size}")
+    iterator = iter(items)
+    while True:
+        chunk = list(islice(iterator, chunk_size))
+        if not chunk:
+            return
+        yield chunk
+
+
+def read_line_chunks(
+    path: str | Path, chunk_size: int = DEFAULT_READ_CHUNK_SIZE
+) -> Iterator[list[str]]:
+    """Yield the lines of a text file in bounded chunks.
+
+    Chunked twin of :func:`read_lines`: each yielded list feeds one
+    ``update_batch`` call, so arbitrarily large files stream through the
+    vectorised ingestion path in constant memory.
+    """
+    return chunked(read_lines(path), chunk_size)
+
+
+def read_csv_key_chunks(
+    path: str | Path,
+    key_columns: tuple[str, ...],
+    chunk_size: int = DEFAULT_READ_CHUNK_SIZE,
+    delimiter: str = ",",
+) -> Iterator[list[tuple[str, ...]]]:
+    """Yield the key tuples of a CSV flow log in bounded chunks.
+
+    Chunked twin of :func:`read_csv_keys` with the same key-column
+    semantics (missing columns raise ``KeyError`` immediately).
+    """
+    return chunked(read_csv_keys(path, key_columns, delimiter), chunk_size)
 
 
 def read_csv_keys(

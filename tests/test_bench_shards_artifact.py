@@ -1,0 +1,131 @@
+"""Smoke test of the shard-scaling benchmark artifact generation.
+
+``benchmarks/run_bench_shards.py`` writes the ``BENCH_shards.json`` artifact
+tracking parallel-ingestion scaling across PRs.  This tier-1 smoke invocation
+runs the suite at a tiny stream size and validates the payload shape, so the
+artifact generation cannot silently rot between benchmark runs.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+
+@pytest.fixture(scope="module")
+def run_bench_shards():
+    spec = importlib.util.spec_from_file_location(
+        "run_bench_shards", REPO_ROOT / "benchmarks" / "run_bench_shards.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    sys.modules.setdefault("run_bench_shards", module)
+    spec.loader.exec_module(module)
+    return module
+
+
+def test_run_suite_payload_shape(run_bench_shards):
+    payload = run_bench_shards.run_suite(
+        algorithms=("sbitmap", "hyperloglog"),
+        num_items=20_000,
+        memory_bits=2_048,
+        n_max=100_000,
+        num_shards=2,
+        jobs_grid=(1, 2),
+        chunk_size=4_096,
+    )
+    assert payload["suite"] == "shard_scaling"
+    assert payload["cpu_count"] >= 1
+    assert set(payload["results"]) == {"sbitmap", "hyperloglog"}
+    for row in payload["results"].values():
+        assert row["single_sketch"]["items_per_sec"] > 0
+        assert set(row["sharded"]) == {"1", "2"}
+        for cell in row["sharded"].values():
+            assert cell["items_per_sec"] > 0
+            assert cell["speedup_vs_1_worker"] > 0
+            assert abs(cell["relative_error"]) < 0.25
+    # The parallel path must not change the answer, only the wall-clock.
+    for row in payload["results"].values():
+        estimates = {cell["estimate"] for cell in row["sharded"].values()}
+        assert len(estimates) == 1
+
+
+def test_jobs_grid_requires_baseline(run_bench_shards):
+    with pytest.raises(ValueError, match="must include 1"):
+        run_bench_shards.run_suite(num_items=1_000, jobs_grid=(2, 4))
+
+
+def test_jobs_grid_order_does_not_matter(run_bench_shards):
+    payload = run_bench_shards.run_suite(
+        algorithms=("hyperloglog",),
+        num_items=5_000,
+        memory_bits=1_024,
+        n_max=50_000,
+        num_shards=2,
+        jobs_grid=(2, 1),  # baseline listed last must still anchor speedups
+        chunk_size=1_024,
+    )
+    sharded = payload["results"]["hyperloglog"]["sharded"]
+    assert set(sharded) == {"1", "2"}
+    assert sharded["1"]["speedup_vs_1_worker"] == 1.0
+
+
+def test_cli_writes_artifact(run_bench_shards, tmp_path, capsys):
+    output = tmp_path / "bench_shards.json"
+    exit_code = run_bench_shards.main(
+        [
+            "--items",
+            "10000",
+            "--memory-bits",
+            "1024",
+            "--n-max",
+            "50000",
+            "--shards",
+            "2",
+            "--jobs",
+            "1",
+            "2",
+            "--algorithms",
+            "hyperloglog",
+            "--output",
+            str(output),
+        ]
+    )
+    assert exit_code == 0
+    payload = json.loads(output.read_text())
+    assert "hyperloglog" in payload["results"]
+    assert "speedup" in capsys.readouterr().out
+
+
+def test_committed_artifact_is_current(run_bench_shards):
+    """The committed artifact must exist and match the suite schema."""
+    artifact = REPO_ROOT / "BENCH_shards.json"
+    assert artifact.exists(), (
+        "BENCH_shards.json missing at the repo root; regenerate with "
+        "`PYTHONPATH=src python benchmarks/run_bench_shards.py`"
+    )
+    payload = json.loads(artifact.read_text())
+    assert payload["suite"] == "shard_scaling"
+    assert payload["config"]["num_items"] >= 1_000_000, (
+        "committed artifact was generated at a reduced scale"
+    )
+    for algorithm in run_bench_shards.DEFAULT_ALGORITHMS:
+        assert algorithm in payload["results"], algorithm
+        sharded = payload["results"][algorithm]["sharded"]
+        assert "1" in sharded and len(sharded) >= 2, (
+            "artifact must compare multi-worker ingestion against 1 worker"
+        )
+    if payload["cpu_count"] and payload["cpu_count"] > 1:
+        # Parallel scaling is only observable with real cores; on a
+        # single-core host the committed numbers honestly sit at ~1x.
+        for algorithm in run_bench_shards.DEFAULT_ALGORITHMS:
+            best = max(
+                cell["speedup_vs_1_worker"]
+                for cell in payload["results"][algorithm]["sharded"].values()
+            )
+            assert best > 1.05, f"{algorithm}: no multi-worker speedup recorded"

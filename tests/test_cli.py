@@ -56,6 +56,175 @@ class TestCountCommand:
         assert "hyperloglog" in capsys.readouterr().out
 
 
+class TestShardedCount:
+    def test_count_with_shards(self, tmp_path, capsys):
+        path = tmp_path / "stream.txt"
+        path.write_text("\n".join(f"user-{i % 300}" for i in range(2_000)) + "\n")
+        exit_code = main(
+            [
+                "count",
+                str(path),
+                "--exact",
+                "--shards",
+                "4",
+                "--memory-bits",
+                "4000",
+                "--n-max",
+                "100000",
+            ]
+        )
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "shards" in output
+        assert "additive" in output  # default algorithm is the S-bitmap
+        assert "300" in output
+
+    def test_count_with_shards_and_jobs_mergeable(self, tmp_path, capsys):
+        path = tmp_path / "stream.txt"
+        path.write_text("\n".join(f"k{i}" for i in range(500)) + "\n")
+        exit_code = main(
+            [
+                "count",
+                str(path),
+                "--algorithm",
+                "hyperloglog",
+                "--shards",
+                "2",
+                "--jobs",
+                "2",
+            ]
+        )
+        assert exit_code == 0
+        assert "merge" in capsys.readouterr().out
+
+    def test_jobs_without_shards_is_rejected(self, tmp_path):
+        path = tmp_path / "stream.txt"
+        path.write_text("a\nb\n")
+        with pytest.raises(SystemExit):
+            main(["count", str(path), "--jobs", "2"])
+
+    def test_exact_with_jobs_still_validates(self, tmp_path, capsys):
+        # --exact must ride along with parallel ingestion, not disable it.
+        path = tmp_path / "stream.txt"
+        path.write_text("\n".join(f"k{i % 250}" for i in range(1_000)) + "\n")
+        exit_code = main(
+            [
+                "count",
+                str(path),
+                "--algorithm",
+                "hyperloglog",
+                "--shards",
+                "2",
+                "--jobs",
+                "2",
+                "--exact",
+            ]
+        )
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "exact" in output
+        assert "250" in output
+
+
+class TestExportImportMerge:
+    def _write_stream(self, path, start, stop):
+        path.write_text("\n".join(f"user-{i}" for i in range(start, stop)) + "\n")
+
+    def test_export_then_merge_deduplicates_overlap(self, tmp_path, capsys):
+        stream_a = tmp_path / "a.txt"
+        stream_b = tmp_path / "b.txt"
+        self._write_stream(stream_a, 0, 400)  # users 0-399
+        self._write_stream(stream_b, 200, 600)  # users 200-599; union = 600
+        for stream, out in ((stream_a, "a.json"), (stream_b, "b.json")):
+            assert (
+                main(
+                    [
+                        "export",
+                        str(stream),
+                        "--algorithm",
+                        "hyperloglog",
+                        "--memory-bits",
+                        "16000",
+                        "--output",
+                        str(tmp_path / out),
+                    ]
+                )
+                == 0
+            )
+        capsys.readouterr()
+        exit_code = main(
+            ["import-merge", str(tmp_path / "a.json"), str(tmp_path / "b.json")]
+        )
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "combined (merge)" in output
+        merged_line = next(
+            line for line in output.splitlines() if "combined (merge)" in line
+        )
+        estimate = float(merged_line.split()[-1])
+        assert 500 < estimate < 700  # union is 600, not the additive 800
+
+    def test_import_merge_additive_for_sbitmap(self, tmp_path, capsys):
+        stream_a = tmp_path / "a.txt"
+        stream_b = tmp_path / "b.txt"
+        self._write_stream(stream_a, 0, 300)
+        self._write_stream(stream_b, 300, 600)  # disjoint links
+        for stream, out in ((stream_a, "a.json"), (stream_b, "b.json")):
+            assert (
+                main(
+                    [
+                        "export",
+                        str(stream),
+                        "--memory-bits",
+                        "8000",
+                        "--n-max",
+                        "100000",
+                        "--output",
+                        str(tmp_path / out),
+                    ]
+                )
+                == 0
+            )
+        capsys.readouterr()
+        exit_code = main(
+            ["import-merge", str(tmp_path / "a.json"), str(tmp_path / "b.json")]
+        )
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "combined (additive)" in output
+        combined_line = next(
+            line for line in output.splitlines() if "combined (additive)" in line
+        )
+        estimate = float(combined_line.split()[-1])
+        assert 550 < estimate < 650  # disjoint streams of 300 + 300
+
+    def test_import_merge_rejects_mismatched_hash_seeds(self, tmp_path, capsys):
+        # Same layout, different hash functions: merging would be garbage.
+        stream = tmp_path / "s.txt"
+        self._write_stream(stream, 0, 500)
+        for seed, out in (("1", "s1.json"), ("2", "s2.json")):
+            main(["export", str(stream), "--algorithm", "hyperloglog",
+                  "--seed", seed, "--output", str(tmp_path / out)])
+        capsys.readouterr()
+        with pytest.raises(SystemExit, match="hash configurations"):
+            main(
+                ["import-merge", str(tmp_path / "s1.json"), str(tmp_path / "s2.json")]
+            )
+
+    def test_import_merge_rejects_mixed_algorithms(self, tmp_path, capsys):
+        stream = tmp_path / "s.txt"
+        self._write_stream(stream, 0, 100)
+        main(["export", str(stream), "--algorithm", "hyperloglog",
+              "--output", str(tmp_path / "hll.json")])
+        main(["export", str(stream), "--algorithm", "loglog",
+              "--output", str(tmp_path / "ll.json")])
+        capsys.readouterr()
+        with pytest.raises(SystemExit, match="different algorithms"):
+            main(
+                ["import-merge", str(tmp_path / "hll.json"), str(tmp_path / "ll.json")]
+            )
+
+
 class TestDimensionCommand:
     def test_dimension_from_error(self, capsys):
         exit_code = main(["dimension", "--n-max", "1000000", "--error", "0.01"])

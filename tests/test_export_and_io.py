@@ -18,7 +18,10 @@ from repro.analysis.export import (
 from repro.analysis.memory import memory_table
 from repro.streams.file_io import (
     FLOW_CSV_COLUMNS,
+    chunked,
+    read_csv_key_chunks,
     read_csv_keys,
+    read_line_chunks,
     read_lines,
     write_flow_csv,
     write_lines,
@@ -83,6 +86,55 @@ class TestLineIO:
     def test_empty_file(self, tmp_path):
         path = write_lines([], tmp_path / "empty.txt")
         assert list(read_lines(path)) == []
+
+
+class TestChunkedReaders:
+    def test_chunked_preserves_order_and_bounds_size(self):
+        chunks = list(chunked(range(10), chunk_size=4))
+        assert chunks == [[0, 1, 2, 3], [4, 5, 6, 7], [8, 9]]
+
+    def test_chunked_is_lazy(self):
+        def infinite():
+            index = 0
+            while True:
+                yield index
+                index += 1
+
+        iterator = chunked(infinite(), chunk_size=3)
+        assert next(iterator) == [0, 1, 2]
+        assert next(iterator) == [3, 4, 5]
+
+    def test_chunked_rejects_nonpositive_size(self):
+        with pytest.raises(ValueError):
+            next(chunked([1], chunk_size=0))
+
+    def test_read_line_chunks_matches_read_lines(self, tmp_path):
+        lines = [f"item-{i}" for i in range(25)]
+        path = write_lines(lines, tmp_path / "lines.txt")
+        chunks = list(read_line_chunks(path, chunk_size=10))
+        assert [len(chunk) for chunk in chunks] == [10, 10, 5]
+        assert [line for chunk in chunks for line in chunk] == lines
+
+    def test_read_csv_key_chunks_matches_read_csv_keys(self, tmp_path):
+        path = tmp_path / "flows.csv"
+        rows = "\n".join(f"{i % 5},{i}" for i in range(12))
+        path.write_text("src,dst\n" + rows + "\n")
+        flat = list(read_csv_keys(path, key_columns=("src", "dst")))
+        chunks = list(read_csv_key_chunks(path, ("src", "dst"), chunk_size=5))
+        assert [key for chunk in chunks for key in chunk] == flat
+        assert max(len(chunk) for chunk in chunks) <= 5
+
+    def test_chunks_feed_update_batch(self, tmp_path):
+        from repro.sketches import create_sketch
+
+        lines = [f"user-{i % 40}" for i in range(200)]
+        path = write_lines(lines, tmp_path / "stream.txt")
+        batched = create_sketch("hyperloglog", 2_048, 10_000, seed=1)
+        for chunk in read_line_chunks(path, chunk_size=64):
+            batched.update_batch(chunk)
+        sequential = create_sketch("hyperloglog", 2_048, 10_000, seed=1)
+        sequential.update(read_lines(path))
+        assert batched.state_dict() == sequential.state_dict()
 
 
 class TestFlowCsv:

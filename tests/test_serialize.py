@@ -1,0 +1,206 @@
+"""Universal sketch serialization: codec envelope + lossless round-trips.
+
+The core property (per the serialization contract of
+:mod:`repro.sketches.base`): for EVERY registered sketch, a round-trip
+through ``state_dict()`` / the versioned JSON codec preserves ``estimate()``
+and ``memory_bits()`` exactly, and the restored sketch evolves
+bit-identically under further ingestion.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import serialize
+from repro.core.sbitmap import SBitmap
+from repro.sketches import available_sketches, create_sketch
+from repro.sketches.base import sketch_from_state
+from repro.sketches.distinct_sampling import DistinctSampling
+from repro.sketches.morris import MorrisCounter
+
+ALL_SKETCHES = sorted(available_sketches())
+
+# Stream items of the types the library's readers produce: strings (text
+# lines), integers (array-native keys) and tuples (CSV flow keys).
+stream_items = st.lists(
+    st.one_of(
+        st.integers(min_value=0, max_value=2**40),
+        st.text(min_size=1, max_size=12),
+        st.tuples(st.text(min_size=1, max_size=6), st.integers(0, 2**16)),
+    ),
+    max_size=300,
+)
+
+
+@pytest.mark.parametrize("algorithm", ALL_SKETCHES)
+@settings(max_examples=15, deadline=None)
+@given(items=stream_items, extra=stream_items)
+def test_round_trip_is_lossless_for_every_registered_sketch(
+    algorithm, items, extra
+):
+    """Snapshot -> JSON -> restore preserves estimate, memory and evolution."""
+    original = create_sketch(algorithm, 2_048, 100_000, seed=11)
+    original.update(items)
+
+    restored = serialize.loads(serialize.dumps(original))
+
+    assert type(restored) is type(original)
+    assert restored.estimate() == original.estimate()
+    assert restored.memory_bits() == original.memory_bits()
+    # Identical evolution: further ingestion must produce identical state.
+    original.update(extra)
+    restored.update(extra)
+    assert restored.state_dict() == original.state_dict()
+    assert restored.estimate() == original.estimate()
+
+
+@pytest.mark.parametrize("algorithm", ALL_SKETCHES)
+def test_payload_is_json_and_carries_the_envelope(algorithm):
+    sketch = create_sketch(algorithm, 1_024, 50_000, seed=3)
+    sketch.update(["a", "b", "c", 7, (1, "x")])
+    text = serialize.dumps(sketch)
+    payload = json.loads(text)
+    assert payload["format"] == serialize.FORMAT
+    assert payload["codec_version"] == serialize.CODEC_VERSION
+    assert payload["algorithm"] == algorithm
+    assert payload["state"]["name"] == algorithm
+
+
+def test_batch_and_scalar_ingestion_round_trip_identically():
+    """A restored sketch keeps working with the vectorised fast path too."""
+    import numpy as np
+
+    for algorithm in ("sbitmap", "hyperloglog", "linear_counting", "kmv"):
+        sketch = create_sketch(algorithm, 2_048, 100_000, seed=5)
+        sketch.update_batch(np.arange(5_000, dtype=np.uint64))
+        restored = serialize.loads(serialize.dumps(sketch))
+        chunk = np.arange(2_500, 7_500, dtype=np.uint64)
+        sketch.update_batch(chunk)
+        restored.update_batch(chunk)
+        assert restored.state_dict() == sketch.state_dict(), algorithm
+
+
+def test_file_round_trip(tmp_path):
+    sketch = create_sketch("hyperloglog", 4_096, 100_000, seed=1)
+    sketch.update(f"user-{i}" for i in range(1_000))
+    path = serialize.dump(sketch, tmp_path / "site.sketch.json")
+    restored = serialize.load(path)
+    assert restored.estimate() == sketch.estimate()
+
+
+def test_morris_round_trip_continues_the_random_sequence():
+    counter = MorrisCounter(base=1.4)
+    counter.add(500)
+    restored = serialize.loads(serialize.dumps(counter))
+    assert restored.register == counter.register
+    counter.add(200)
+    restored.add(200)
+    assert restored.register == counter.register
+
+
+def test_distinct_sampling_restores_tuple_items():
+    sketch = DistinctSampling(capacity=64, seed=2)
+    flows = [("10.0.0.1", i) for i in range(40)]
+    sketch.update(flows)
+    restored = serialize.loads(serialize.dumps(sketch))
+    assert sorted(map(repr, restored.sampled_items())) == sorted(
+        map(repr, sketch.sampled_items())
+    )
+    # Restored tuples must hash like the originals on further ingestion.
+    sketch.update(flows)
+    restored.update(flows)
+    assert restored.state_dict() == sketch.state_dict()
+
+
+def test_sbitmap_legacy_payload_without_hash_key():
+    """Payloads written before the 'hash' key existed stay restorable."""
+    sketch = SBitmap.from_memory(1_024, 50_000, seed=9)
+    sketch.update(f"k{i}" for i in range(500))
+    legacy = sketch.to_dict()
+    del legacy["hash"]
+    restored = SBitmap.from_dict(legacy)
+    assert restored.estimate() == sketch.estimate()
+    restored.add("another")
+    sketch.add("another")
+    assert restored.fill_count == sketch.fill_count
+
+
+def test_sharded_counter_round_trips_through_the_codec():
+    from repro.pipeline import ShardedCounter
+
+    counter = ShardedCounter("hyperloglog", 2_048, 50_000, num_shards=3, seed=4)
+    counter.update(f"user-{i % 200}" for i in range(1_000))
+    restored = serialize.loads(serialize.dumps(counter))
+    assert isinstance(restored, ShardedCounter)
+    assert restored.estimate() == counter.estimate()
+    counter.add("one-more")
+    restored.add("one-more")
+    assert restored.state_dict() == counter.state_dict()
+
+
+def test_bitmap_size_mismatch_is_rejected_in_both_directions():
+    from repro.sketches.base import pack_bool_array, unpack_bool_array
+    import numpy as np
+
+    payload = pack_bool_array(np.ones(1_024, dtype=bool))
+    with pytest.raises(ValueError, match="1024 bits"):
+        unpack_bool_array(payload, 64)  # declared size smaller than payload
+    with pytest.raises(ValueError, match="2048 were expected"):
+        unpack_bool_array(payload, 2_048)  # declared size larger than payload
+    assert unpack_bool_array(payload, 1_024).all()
+    assert unpack_bool_array(pack_bool_array(np.ones(1_020, dtype=bool)), 1_020).all()
+
+
+class TestEnvelopeValidation:
+    def _payload(self):
+        sketch = create_sketch("loglog", 512, 10_000, seed=1)
+        sketch.update(["x", "y"])
+        return serialize.to_payload(sketch)
+
+    def test_rejects_foreign_json(self):
+        with pytest.raises(ValueError, match="refusing to guess"):
+            serialize.from_payload({"something": "else"})
+
+    def test_rejects_future_codec_version(self):
+        payload = self._payload()
+        payload["codec_version"] = serialize.CODEC_VERSION + 1
+        with pytest.raises(ValueError, match="codec version"):
+            serialize.from_payload(payload)
+
+    def test_rejects_algorithm_name_mismatch(self):
+        payload = self._payload()
+        payload["algorithm"] = "hyperloglog"
+        with pytest.raises(ValueError, match="does not match"):
+            serialize.from_payload(payload)
+
+    def test_rejects_unknown_sketch_name(self):
+        payload = self._payload()
+        payload["algorithm"] = payload["state"]["name"] = "no-such-sketch"
+        with pytest.raises(KeyError, match="no-such-sketch"):
+            serialize.from_payload(payload)
+
+    def test_state_without_name_key(self):
+        with pytest.raises(ValueError, match="name"):
+            sketch_from_state({"num_bits": 8})
+
+    def test_hash_config_missing_seed_is_rejected(self):
+        from repro.hashing.family import hash_family_from_config
+
+        with pytest.raises(ValueError, match="seed"):
+            hash_family_from_config({"kind": "mixer", "mixer": "splitmix64"})
+        with pytest.raises(ValueError, match="mixer"):
+            hash_family_from_config({"kind": "mixer", "seed": 1})
+        with pytest.raises(ValueError, match="kind"):
+            hash_family_from_config({"kind": "sha256", "seed": 1})
+
+    def test_morris_unknown_bit_generator_is_rejected(self):
+        counter = MorrisCounter(base=2.0)
+        counter.add(10)
+        state = counter.state_dict()
+        state["rng_state"] = dict(state["rng_state"], bit_generator="seed")
+        with pytest.raises(ValueError, match="bit generator"):
+            MorrisCounter.from_state_dict(state)

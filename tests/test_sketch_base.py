@@ -40,6 +40,23 @@ class TestRegistry:
         with pytest.raises(ValueError):
             register_sketch("sbitmap", lambda m, n, s: None)  # type: ignore[arg-type]
 
+    def test_duplicate_class_name_rejected(self):
+        # A different class claiming a registered snapshot name would make
+        # serialization dispatch ambiguous.
+        with pytest.raises(ValueError, match="already registered"):
+
+            class Impostor(DistinctCounter):  # noqa: F811
+                name = "sbitmap"
+
+                def add(self, item):
+                    pass
+
+                def estimate(self):
+                    return 0.0
+
+                def memory_bits(self):
+                    return 0
+
     def test_every_factory_respects_memory_budget(self):
         budget = 4_096
         for name in EXPECTED_REGISTERED - {"exact", "adaptive_sampling", "distinct_sampling", "kmv"}:
@@ -100,3 +117,50 @@ class TestBaseClassBehaviour:
         clone = sketch.copy()
         clone.update(distinct_stream(100, start=100))
         assert clone.estimate() >= sketch.estimate()
+
+    def test_update_batch_fallback_converts_arrays_in_bounded_slices(self):
+        # The non-vectorised fallback must never tolist() a whole NumPy chunk
+        # at once: slices are bounded by FALLBACK_SLICE_SIZE and arrive in
+        # stream order.
+        import numpy as np
+
+        from repro.sketches.base import FALLBACK_SLICE_SIZE
+
+        batches = []
+
+        class Recorder(DistinctCounter):
+            name = "slice-recorder"
+
+            def add(self, item):
+                raise AssertionError("fallback should go through update()")
+
+            def update(self, items):
+                batches.append(list(items))
+
+            def estimate(self):
+                return 0.0
+
+            def memory_bits(self):
+                return 0
+
+        recorder = Recorder()
+        chunk = np.arange(2 * FALLBACK_SLICE_SIZE + 17, dtype=np.uint64)
+        recorder.update_batch(chunk)
+        assert [len(batch) for batch in batches] == [
+            FALLBACK_SLICE_SIZE,
+            FALLBACK_SLICE_SIZE,
+            17,
+        ]
+        flattened = [item for batch in batches for item in batch]
+        assert flattened == chunk.tolist()
+        assert all(isinstance(item, int) for item in flattened[:3])
+
+    def test_update_batch_fallback_state_matches_sequential(self):
+        import numpy as np
+
+        chunk = np.arange(20_000, dtype=np.uint64)
+        batched = create_sketch("adaptive_sampling", 2_048, 100_000, seed=3)
+        batched.update_batch(chunk)
+        sequential = create_sketch("adaptive_sampling", 2_048, 100_000, seed=3)
+        sequential.update(chunk.tolist())
+        assert batched.state_dict() == sequential.state_dict()
