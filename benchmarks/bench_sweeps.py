@@ -1,0 +1,79 @@
+"""Monte-Carlo sweep benchmarks and the ``BENCH_sweeps.json`` artifact.
+
+Two layers, mirroring ``bench_batch.py``:
+
+* per-path micro-benchmarks (pytest-benchmark) timing the per-cell legacy
+  simulators against the fused sweep engine on a reduced grid, and
+* one artifact-emitting pass through :mod:`run_bench_sweeps` that rewrites
+  ``BENCH_sweeps.json`` at the repository root at the full tracked scale
+  (the paper's Figure-4 800-bit panel, 1000 replicates), so every benchmark
+  run refreshes the tracked sweep-throughput numbers.
+
+Run with::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_sweeps.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+import run_bench_sweeps
+
+MEMORY_BITS = run_bench_sweeps.DEFAULT_MEMORY_BITS
+N_MAX = run_bench_sweeps.DEFAULT_N_MAX
+REPLICATES = 100
+NUM_CARDINALITIES = 12
+
+
+def _grid() -> np.ndarray:
+    return np.unique(
+        np.round(np.geomspace(10, N_MAX, NUM_CARDINALITIES)).astype(np.int64)
+    )
+
+
+def test_per_cell_grid(benchmark):
+    """Baseline: one legacy simulator invocation per (algorithm, n) cell."""
+
+    def run():
+        rng = np.random.default_rng(3)
+        for algorithm in run_bench_sweeps.SIMULATED_ALGORITHMS:
+            run_bench_sweeps._legacy_grid(
+                algorithm, MEMORY_BITS, N_MAX, _grid(), REPLICATES, rng
+            )
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+    benchmark.extra_info["replicates"] = REPLICATES
+    benchmark.extra_info["path"] = "per-cell"
+
+
+def test_fused_grid(benchmark):
+    """Fused engine: one sweep call per algorithm (shared register pass)."""
+
+    def run():
+        return run_bench_sweeps._fused_grids(
+            MEMORY_BITS, N_MAX, _grid(), REPLICATES, np.random.default_rng(3)
+        )
+
+    estimates, _ = benchmark.pedantic(run, rounds=1, iterations=1)
+    for algorithm in run_bench_sweeps.SIMULATED_ALGORITHMS:
+        assert np.all(np.isfinite(estimates[algorithm]))
+    benchmark.extra_info["replicates"] = REPLICATES
+    benchmark.extra_info["path"] = "fused"
+
+
+def test_emit_sweeps_artifact(benchmark):
+    """Refresh ``BENCH_sweeps.json`` at the full tracked scale.
+
+    Runs the same suite as ``python benchmarks/run_bench_sweeps.py`` so
+    every benchmark invocation rewrites the repo-root artifact with numbers
+    at the scale it documents -- never a reduced-size stand-in.
+    """
+    payload = benchmark.pedantic(run_bench_sweeps.run_suite, rounds=1, iterations=1)
+    run_bench_sweeps.write_artifact(payload, run_bench_sweeps.DEFAULT_ARTIFACT)
+    simulate = payload["results"]["simulate"]
+    benchmark.extra_info["speedup"] = round(simulate["speedup"], 2)
+    benchmark.extra_info["streaming_speedup"] = round(
+        payload["results"]["streaming"]["speedup"], 2
+    )
+    assert simulate["speedup"] > 1.0, "fused path slower than per-cell"

@@ -1,0 +1,479 @@
+"""Monte-Carlo sweep suite: per-cell legacy simulators vs the fused engine.
+
+The paper's headline evidence (Figures 2/4, Tables 3/4) is produced by
+replicated accuracy sweeps -- ``replicates`` estimates per (algorithm,
+cardinality) cell of a Figure-4-style grid.  This suite measures the wall
+time of filling that grid two ways:
+
+* **per-cell** -- one simulator invocation per (algorithm, n) cell, exactly
+  as the historical analysis layer drove the simulators: the per-replicate
+  ``np.ndenumerate`` occupancy loops, the per-replicate multiresolution
+  loop, the per-offset ``searchsorted`` loop and the transcendental
+  max-of-geometrics chain are preserved verbatim in this module.  A per-cell
+  path redraws its Monte-Carlo state for every cell by construction -- no
+  trajectory can be shared across cells through a per-cell API;
+* **fused** -- the vectorised sweep engine: one ``*_sweep`` call per
+  algorithm (one shared register pass for the whole LogLog family), serving
+  the entire ``(replicate, cardinality)`` grid from one RNG pass per
+  replicate via trajectory reuse.
+
+A third row tracks the *streaming* mode of
+:func:`repro.analysis.experiment.streaming_estimates` (real sketches fed a
+distinct stream): per-item scalar ``add`` against the array-native
+``update_batch`` ingestion, at a reduced scale documented in the config.
+
+Results land in ``BENCH_sweeps.json`` at the repository root so the sweep
+throughput trajectory is tracked across PRs next to the ingestion artifacts.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/run_bench_sweeps.py                  # full grid
+    PYTHONPATH=src python benchmarks/run_bench_sweeps.py --replicates 50  # quicker
+    PYTHONPATH=src python benchmarks/run_bench_sweeps.py --output /tmp/s.json
+
+The module is import-safe (no work at import time) so the tier-1 test-suite
+smoke-invokes :func:`run_suite` with small sizes.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+if str(REPO_ROOT / "src") not in sys.path:
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+
+import numpy as np
+
+from repro import __version__
+from repro.analysis.experiment import (
+    SIMULATED_ALGORITHMS,
+    streaming_estimates,
+)
+from repro.core.dimensioning import SBitmapDesign
+from repro.core.estimator import SBitmapEstimator
+from repro.core.theory import register_width_bits
+from repro.simulation import (
+    simulate_linear_counting_sweep,
+    simulate_mr_bitmap_sweep,
+    simulate_register_family_sweep,
+    simulate_sbitmap_sweep,
+)
+from repro.simulation.sbitmap_sim import simulate_fill_times
+from repro.sketches.base import create_sketch
+from repro.sketches.hyperloglog import hyperloglog_estimate
+from repro.sketches.linear_counting import linear_counting_estimate
+from repro.sketches.loglog import loglog_estimate
+from repro.sketches.mr_bitmap import MultiresolutionBitmap, mr_bitmap_estimate
+from repro.streams.generators import distinct_stream
+
+DEFAULT_ARTIFACT = REPO_ROOT / "BENCH_sweeps.json"
+
+#: Figure-4-style tracked configuration: the paper's 800-bit panel (the
+#: regime where every sketch fits a household-monitoring budget), full
+#: cardinality range, paper-scale replicates.
+DEFAULT_REPLICATES = 1_000
+DEFAULT_NUM_CARDINALITIES = 20
+DEFAULT_MEMORY_BITS = 800
+DEFAULT_N_MAX = 2**20
+DEFAULT_STREAMING_CARDINALITY = 20_000
+DEFAULT_STREAMING_REPLICATES = 5
+
+#: The LogLog family shares one register law; the fused engine simulates the
+#: registers once and applies both estimators.
+REGISTER_FAMILY = ("hyperloglog", "loglog")
+
+
+# --------------------------------------------------------------------------- #
+# legacy per-cell reference path (pre-fused-engine implementations, verbatim)
+# --------------------------------------------------------------------------- #
+
+
+def _legacy_fill_counts(design, cardinalities, replicates, rng):
+    """Per-offset ``searchsorted`` loop over the replicate chunk."""
+    cards = np.asarray(cardinalities, dtype=np.int64)
+    counts = np.empty((replicates, cards.size), dtype=np.int64)
+    chunk_size = max(1, 4_000_000 // max(design.max_fill, 1))
+    start = 0
+    while start < replicates:
+        stop = min(start + chunk_size, replicates)
+        fill_times = simulate_fill_times(design, stop - start, rng)
+        for offset in range(stop - start):
+            counts[start + offset] = np.searchsorted(
+                fill_times[offset], cards, side="right"
+            )
+        start = stop
+    return counts
+
+
+def _legacy_occupancy(num_buckets, num_items, rng):
+    """Per-replicate ``np.ndenumerate`` multinomial loop."""
+    if num_buckets < 1:
+        raise ValueError(f"num_buckets must be positive, got {num_buckets}")
+    items = np.atleast_1d(np.asarray(num_items, dtype=np.int64))
+    if np.any(items < 0):
+        raise ValueError("item counts must be non-negative")
+    probabilities = np.full(num_buckets, 1.0 / num_buckets)
+    occupied = np.empty(items.shape, dtype=np.int64)
+    for index, count in np.ndenumerate(items):
+        cells = rng.multinomial(int(count), probabilities)
+        occupied[index] = int(np.count_nonzero(cells))
+    return occupied
+
+
+def _legacy_mr_bitmap_estimates(component_sizes, cardinality, replicates, rng):
+    """Per-replicate simulation loop with the scalar mr-bitmap decoder."""
+    num_components = len(component_sizes)
+    level_probabilities = np.array(
+        [2.0**-i for i in range(1, num_components)]
+        + [2.0 ** -(num_components - 1)]
+    )
+    level_probabilities = level_probabilities / level_probabilities.sum()
+    estimates = np.empty(replicates, dtype=float)
+    for replicate in range(replicates):
+        per_level = rng.multinomial(cardinality, level_probabilities)
+        occupancies = [
+            int(_legacy_occupancy(size, int(count), rng)[0])
+            for size, count in zip(component_sizes, per_level)
+        ]
+        estimates[replicate] = mr_bitmap_estimate(
+            list(component_sizes), occupancies
+        )
+    return estimates
+
+
+def _legacy_max_geometric(counts, rng, max_value):
+    """Historical transcendental inverse transform (``expm1``/``log2``/``ceil``)."""
+    counts = np.asarray(counts, dtype=np.float64)
+    uniforms = rng.random(counts.shape)
+    with np.errstate(divide="ignore", invalid="ignore"):
+        log_u_over_k = np.log(uniforms) / np.maximum(counts, 1.0)
+        tail = -np.expm1(log_u_over_k)
+        tail = np.maximum(tail, 1e-300)
+        values = np.ceil(-np.log2(tail))
+    values = np.where(counts > 0, values, 0.0)
+    return np.clip(values, 0, max_value).astype(np.int64)
+
+
+def _legacy_register_estimates(
+    num_registers, cardinality, replicates, rng, register_width, estimator
+):
+    """One multinomial + inverse-transform pass per (algorithm, n) cell."""
+    max_value = (1 << register_width) - 1
+    probabilities = np.full(num_registers, 1.0 / num_registers)
+    counts = rng.multinomial(cardinality, probabilities, size=replicates)
+    registers = _legacy_max_geometric(counts, rng, max_value)
+    return np.asarray(estimator(registers, axis=1), dtype=float)
+
+
+def _legacy_grid(algorithm, memory_bits, n_max, cardinalities, replicates, rng):
+    """Fill one algorithm's grid column-by-column: one call per cell."""
+    estimates = np.empty((replicates, cardinalities.size), dtype=float)
+    if algorithm == "sbitmap":
+        design = SBitmapDesign.from_memory(memory_bits, n_max)
+        estimator = SBitmapEstimator(design)
+        for column, cardinality in enumerate(cardinalities):
+            counts = _legacy_fill_counts(
+                design, np.array([cardinality]), replicates, rng
+            )
+            estimates[:, column] = estimator.estimate_many(counts[:, 0])
+        return estimates
+    if algorithm in ("hyperloglog", "loglog"):
+        width = register_width_bits(n_max)
+        registers = max(2, memory_bits // width)
+        estimator = (
+            hyperloglog_estimate if algorithm == "hyperloglog" else loglog_estimate
+        )
+        for column, cardinality in enumerate(cardinalities):
+            estimates[:, column] = _legacy_register_estimates(
+                registers, int(cardinality), replicates, rng, width, estimator
+            )
+        return estimates
+    if algorithm == "mr_bitmap":
+        sizes = MultiresolutionBitmap.design(memory_bits, n_max).component_sizes
+        for column, cardinality in enumerate(cardinalities):
+            estimates[:, column] = _legacy_mr_bitmap_estimates(
+                sizes, int(cardinality), replicates, rng
+            )
+        return estimates
+    if algorithm == "linear_counting":
+        for column, cardinality in enumerate(cardinalities):
+            items = np.full(replicates, int(cardinality), dtype=np.int64)
+            occupied = _legacy_occupancy(memory_bits, items, rng)
+            estimates[:, column] = np.asarray(
+                linear_counting_estimate(memory_bits, occupied), dtype=float
+            )
+        return estimates
+    raise ValueError(f"no legacy simulator for algorithm {algorithm!r}")
+
+
+# --------------------------------------------------------------------------- #
+# fused path
+# --------------------------------------------------------------------------- #
+
+
+def _fused_grids(memory_bits, n_max, cardinalities, replicates, rng):
+    """Fill every algorithm's grid via the fused engine; time each call.
+
+    Returns ``(estimates, seconds)`` keyed by algorithm / engine pass: the
+    LogLog family appears as one ``register_family`` timing because the
+    fused engine simulates the shared register state once for both
+    estimators.
+    """
+    estimates: dict[str, np.ndarray] = {}
+    seconds: dict[str, float] = {}
+
+    start = time.perf_counter()
+    design = SBitmapDesign.from_memory(memory_bits, n_max)
+    estimates["sbitmap"] = simulate_sbitmap_sweep(
+        design, cardinalities, replicates, rng
+    )
+    seconds["sbitmap"] = time.perf_counter() - start
+
+    start = time.perf_counter()
+    width = register_width_bits(n_max)
+    registers = max(2, memory_bits // width)
+    family = simulate_register_family_sweep(
+        registers,
+        cardinalities,
+        replicates,
+        rng,
+        register_width=width,
+        algorithms=REGISTER_FAMILY,
+    )
+    estimates.update(family)
+    seconds["register_family"] = time.perf_counter() - start
+
+    start = time.perf_counter()
+    sizes = MultiresolutionBitmap.design(memory_bits, n_max).component_sizes
+    estimates["mr_bitmap"] = simulate_mr_bitmap_sweep(
+        sizes, cardinalities, replicates, rng
+    )
+    seconds["mr_bitmap"] = time.perf_counter() - start
+
+    start = time.perf_counter()
+    estimates["linear_counting"] = simulate_linear_counting_sweep(
+        memory_bits, cardinalities, replicates, rng
+    )
+    seconds["linear_counting"] = time.perf_counter() - start
+    return estimates, seconds
+
+
+# --------------------------------------------------------------------------- #
+# suite
+# --------------------------------------------------------------------------- #
+
+
+def _streaming_row(
+    algorithm: str,
+    memory_bits: int,
+    n_max: int,
+    cardinality: int,
+    replicates: int,
+    seed: int,
+) -> dict:
+    """Per-item scalar streaming vs the array-native batch streaming mode."""
+    start = time.perf_counter()
+    for replicate in range(replicates):
+        sketch = create_sketch(
+            algorithm, memory_bits, n_max, seed=seed * 100_003 + replicate
+        )
+        sketch.update(distinct_stream(cardinality, prefix=f"r{replicate}"))
+        sketch.estimate()
+    per_item_seconds = time.perf_counter() - start
+    start = time.perf_counter()
+    streaming_estimates(
+        algorithm, memory_bits, n_max, cardinality, replicates, seed=seed
+    )
+    batch_seconds = time.perf_counter() - start
+    items = cardinality * replicates
+    return {
+        "algorithm": algorithm,
+        "cardinality": cardinality,
+        "replicates": replicates,
+        "per_item": {
+            "seconds": per_item_seconds,
+            "items_per_sec": items / per_item_seconds,
+        },
+        "batch": {
+            "seconds": batch_seconds,
+            "items_per_sec": items / batch_seconds,
+        },
+        "speedup": per_item_seconds / batch_seconds,
+    }
+
+
+def run_suite(
+    algorithms: tuple[str, ...] = SIMULATED_ALGORITHMS,
+    replicates: int = DEFAULT_REPLICATES,
+    num_cardinalities: int = DEFAULT_NUM_CARDINALITIES,
+    memory_bits: int = DEFAULT_MEMORY_BITS,
+    n_max: int = DEFAULT_N_MAX,
+    seed: int = 7,
+    streaming_algorithm: str = "sbitmap",
+    streaming_cardinality: int = DEFAULT_STREAMING_CARDINALITY,
+    streaming_replicates: int = DEFAULT_STREAMING_REPLICATES,
+) -> dict:
+    """Fill the Figure-4-style grid via both paths and time each.
+
+    Every produced estimate matrix is sanity-checked (finite, right shape,
+    and each algorithm's median relative error against the true cardinality
+    within loose bounds on both paths), so the recorded speedup can only
+    come from paths that actually produce the grid.  Returns the
+    JSON-serialisable payload that :func:`write_artifact` persists.
+    """
+    cardinalities = np.unique(
+        np.round(np.geomspace(10, n_max, num_cardinalities)).astype(np.int64)
+    )
+    seed_sequence = np.random.SeedSequence(seed)
+    legacy_child, fused_child = seed_sequence.spawn(2)
+
+    per_cell: dict[str, float] = {}
+    rng = np.random.default_rng(legacy_child)
+    for algorithm in algorithms:
+        start = time.perf_counter()
+        legacy = _legacy_grid(
+            algorithm, memory_bits, n_max, cardinalities, replicates, rng
+        )
+        per_cell[algorithm] = time.perf_counter() - start
+        _check_grid(algorithm, legacy, cardinalities, replicates, "per-cell")
+
+    fused_estimates, fused_seconds = _fused_grids(
+        memory_bits, n_max, cardinalities, replicates,
+        np.random.default_rng(fused_child),
+    )
+    for algorithm in algorithms:
+        _check_grid(
+            algorithm, fused_estimates[algorithm], cardinalities, replicates,
+            "fused",
+        )
+
+    total_legacy = sum(per_cell.values())
+    total_fused = sum(fused_seconds.values())
+    total_cells = replicates * cardinalities.size * len(algorithms)
+    return {
+        "suite": "montecarlo_sweep_throughput",
+        "version": __version__,
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "cpu_count": os.cpu_count(),
+        "config": {
+            "algorithms": list(algorithms),
+            "replicates": replicates,
+            "num_cardinalities": int(cardinalities.size),
+            "cardinality_min": int(cardinalities.min()),
+            "cardinality_max": int(cardinalities.max()),
+            "memory_bits": memory_bits,
+            "n_max": n_max,
+            "seed": seed,
+            "streaming": {
+                "algorithm": streaming_algorithm,
+                "cardinality": streaming_cardinality,
+                "replicates": streaming_replicates,
+            },
+        },
+        "results": {
+            "simulate": {
+                "per_cell_seconds_by_algorithm": per_cell,
+                "fused_seconds_by_pass": fused_seconds,
+                "per_cell_seconds": total_legacy,
+                "fused_seconds": total_fused,
+                "speedup": total_legacy / total_fused,
+                "grid_cells": total_cells,
+                "estimates_per_sec_fused": total_cells / total_fused,
+            },
+            "streaming": _streaming_row(
+                streaming_algorithm,
+                memory_bits,
+                n_max,
+                streaming_cardinality,
+                streaming_replicates,
+                seed,
+            ),
+        },
+    }
+
+
+def _check_grid(algorithm, estimates, cardinalities, replicates, path):
+    """Both paths must actually produce a sane Figure-4 grid."""
+    if estimates.shape != (replicates, cardinalities.size):
+        raise AssertionError(f"{path} {algorithm}: bad grid shape {estimates.shape}")
+    if not np.all(np.isfinite(estimates)):
+        raise AssertionError(f"{path} {algorithm}: non-finite estimates")
+    # Median relative error sanity: generous enough for every algorithm's
+    # worst regime (mr-bitmap boundary collapse, linear-counting saturation)
+    # in the middle of the range, where all five should roughly track n.
+    middle = cardinalities.size // 2
+    truth = float(cardinalities[middle])
+    median = float(np.median(estimates[:, middle]))
+    if not 0.2 * truth <= median <= 5.0 * truth:
+        raise AssertionError(
+            f"{path} {algorithm}: median estimate {median} far from n={truth}"
+        )
+
+
+def write_artifact(payload: dict, output: Path | str = DEFAULT_ARTIFACT) -> Path:
+    """Write the suite payload as pretty-printed JSON and return the path."""
+    output = Path(output)
+    output.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return output
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--replicates", type=int, default=DEFAULT_REPLICATES)
+    parser.add_argument(
+        "--cardinalities", type=int, default=DEFAULT_NUM_CARDINALITIES,
+        help="number of log-spaced grid points between 10 and n-max",
+    )
+    parser.add_argument("--memory-bits", type=int, default=DEFAULT_MEMORY_BITS)
+    parser.add_argument("--n-max", type=int, default=DEFAULT_N_MAX)
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument(
+        "--streaming-cardinality", type=int, default=DEFAULT_STREAMING_CARDINALITY
+    )
+    parser.add_argument(
+        "--streaming-replicates", type=int, default=DEFAULT_STREAMING_REPLICATES
+    )
+    parser.add_argument("--output", type=Path, default=DEFAULT_ARTIFACT)
+    args = parser.parse_args(argv)
+
+    payload = run_suite(
+        replicates=args.replicates,
+        num_cardinalities=args.cardinalities,
+        memory_bits=args.memory_bits,
+        n_max=args.n_max,
+        seed=args.seed,
+        streaming_cardinality=args.streaming_cardinality,
+        streaming_replicates=args.streaming_replicates,
+    )
+    path = write_artifact(payload, args.output)
+    print(f"wrote {path}")
+    simulate = payload["results"]["simulate"]
+    for name, seconds in simulate["per_cell_seconds_by_algorithm"].items():
+        print(f"per-cell {name:<16} {seconds:>8.2f}s")
+    for name, seconds in simulate["fused_seconds_by_pass"].items():
+        print(f"fused    {name:<16} {seconds:>8.2f}s")
+    print(
+        f"grid: per-cell {simulate['per_cell_seconds']:.2f}s"
+        f"  fused {simulate['fused_seconds']:.2f}s"
+        f"  speedup {simulate['speedup']:.1f}x"
+    )
+    streaming = payload["results"]["streaming"]
+    print(
+        f"streaming ({streaming['algorithm']})"
+        f"  per-item {streaming['per_item']['seconds']:.2f}s"
+        f"  batch {streaming['batch']['seconds']:.2f}s"
+        f"  speedup {streaming['speedup']:.1f}x"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

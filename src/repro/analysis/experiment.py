@@ -26,15 +26,15 @@ from repro.analysis.metrics import ErrorSummary, summarize_errors
 from repro.core.dimensioning import SBitmapDesign
 from repro.core.theory import register_width_bits
 from repro.simulation import (
-    simulate_hyperloglog_estimates,
-    simulate_linear_counting_estimates,
-    simulate_loglog_estimates,
-    simulate_mr_bitmap_estimates,
+    simulate_hyperloglog_sweep,
+    simulate_linear_counting_sweep,
+    simulate_loglog_sweep,
+    simulate_mr_bitmap_sweep,
     simulate_sbitmap_sweep,
 )
 from repro.sketches.base import create_sketch
 from repro.sketches.mr_bitmap import MultiresolutionBitmap
-from repro.streams.generators import distinct_stream
+from repro.streams.generators import DEFAULT_CHUNK_SIZE, StreamSpec
 
 __all__ = [
     "SIMULATED_ALGORITHMS",
@@ -102,44 +102,42 @@ def _simulated_estimates(
     replicates: int,
     rng: np.random.Generator,
 ) -> dict[int, np.ndarray]:
-    """Replicated estimates per cardinality using the model-level simulators."""
-    estimates: dict[int, np.ndarray] = {}
+    """Replicated estimates per cardinality using the fused sweep simulators.
+
+    Exactly one simulator call per algorithm serves the entire cardinality
+    grid -- one RNG pass, no per-cell dispatch.  The returned mapping slices
+    the ``(replicates, cells)`` estimate matrix by grid column.
+    """
     if algorithm == "sbitmap":
         design = SBitmapDesign.from_memory(memory_bits, n_max)
         sweep = simulate_sbitmap_sweep(design, cardinalities, replicates, rng)
-        for column, cardinality in enumerate(cardinalities):
-            estimates[int(cardinality)] = sweep[:, column]
-        return estimates
-    if algorithm in ("hyperloglog", "loglog"):
+    elif algorithm in ("hyperloglog", "loglog"):
         width = register_width_bits(n_max)
         registers = max(2, memory_bits // width)
         simulator = (
-            simulate_hyperloglog_estimates
+            simulate_hyperloglog_sweep
             if algorithm == "hyperloglog"
-            else simulate_loglog_estimates
+            else simulate_loglog_sweep
         )
-        for cardinality in cardinalities:
-            estimates[int(cardinality)] = simulator(
-                registers, int(cardinality), replicates, rng, register_width=width
-            )
-        return estimates
-    if algorithm == "mr_bitmap":
+        sweep = simulator(
+            registers, cardinalities, replicates, rng, register_width=width
+        )
+    elif algorithm == "mr_bitmap":
         sizes = MultiresolutionBitmap.design(memory_bits, n_max).component_sizes
-        for cardinality in cardinalities:
-            estimates[int(cardinality)] = simulate_mr_bitmap_estimates(
-                sizes, int(cardinality), replicates, rng
-            )
-        return estimates
-    if algorithm == "linear_counting":
-        for cardinality in cardinalities:
-            estimates[int(cardinality)] = simulate_linear_counting_estimates(
-                memory_bits, int(cardinality), replicates, rng
-            )
-        return estimates
-    raise ValueError(
-        f"no model-level simulator for algorithm {algorithm!r}; "
-        f"simulatable algorithms: {SIMULATED_ALGORITHMS}"
-    )
+        sweep = simulate_mr_bitmap_sweep(sizes, cardinalities, replicates, rng)
+    elif algorithm == "linear_counting":
+        sweep = simulate_linear_counting_sweep(
+            memory_bits, cardinalities, replicates, rng
+        )
+    else:
+        raise ValueError(
+            f"no model-level simulator for algorithm {algorithm!r}; "
+            f"simulatable algorithms: {SIMULATED_ALGORITHMS}"
+        )
+    return {
+        int(cardinality): sweep[:, column]
+        for column, cardinality in enumerate(cardinalities)
+    }
 
 
 def streaming_estimates(
@@ -149,22 +147,31 @@ def streaming_estimates(
     cardinality: int,
     replicates: int,
     seed: int = 0,
+    chunk_size: int = DEFAULT_CHUNK_SIZE,
 ) -> np.ndarray:
     """Replicated estimates obtained by running the real streaming sketch.
 
-    Each replicate constructs a fresh sketch (new hash seed) and feeds it
-    ``cardinality`` distinct keys.  Pure-Python, so keep ``cardinality *
-    replicates`` modest; the statistical cross-validation tests use this to
-    confirm the simulators.
+    Each replicate constructs a fresh sketch (new hash seed) and ingests
+    ``cardinality`` distinct keys through the vectorised ``update_batch``
+    path, fed by the array-native stream mode
+    (:meth:`repro.streams.generators.StreamSpec.generate_arrays`).  The
+    ``uint64`` key chunks are materialised once and shared across replicates
+    -- the replicates differ only in their hash seed, which is exactly the
+    randomness the error distribution is over (an ideal-hash sketch is
+    insensitive to the identity of the keys).  The statistical
+    cross-validation tests use this to confirm the model-level simulators.
     """
     if replicates < 1:
         raise ValueError(f"replicates must be positive, got {replicates}")
+    spec = StreamSpec(kind="distinct", num_distinct=cardinality)
+    chunks = list(spec.generate_arrays(chunk_size=chunk_size))
     results = np.empty(replicates, dtype=float)
     for replicate in range(replicates):
         sketch = create_sketch(
             algorithm, memory_bits, n_max, seed=seed * 100_003 + replicate
         )
-        sketch.update(distinct_stream(cardinality, prefix=f"r{replicate}"))
+        for chunk in chunks:
+            sketch.update_batch(chunk)
         results[replicate] = sketch.estimate()
     return results
 

@@ -28,7 +28,11 @@ from repro.core.dimensioning import (
     solve_precision_constant,
 )
 from repro.core.estimator import SBitmapEstimator
-from repro.core.markov import SBitmapMarkovChain
+from repro.core.markov import (
+    SBitmapMarkovChain,
+    markov_chain_from_error,
+    markov_chain_from_memory,
+)
 from repro.core.sbitmap import SBitmap
 from repro.core import theory
 
@@ -38,6 +42,8 @@ __all__ = [
     "SBitmapDesign",
     "SBitmapEstimator",
     "SBitmapMarkovChain",
+    "markov_chain_from_error",
+    "markov_chain_from_memory",
     "fill_time_interval",
     "normal_interval",
     "design_from_error",

@@ -30,6 +30,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
+from functools import lru_cache
 
 import numpy as np
 
@@ -201,16 +202,10 @@ class SBitmapDesign:
 
         ``q_b = (1 + 1/C) r^b`` for ``b <= b_max``; beyond the truncation
         level the *sampling* rate is clamped (see :meth:`sampling_rates`), so
-        ``q_b = (1 - (b-1)/m) p_{b_max}`` there.
+        ``q_b = (1 - (b-1)/m) p_{b_max}`` there.  The table is memoised per
+        design and returned read-only.
         """
-        b = np.arange(self.num_bits + 1, dtype=float)
-        q = (1.0 + 1.0 / self.precision) * self.ratio**b
-        p = self.sampling_rates()
-        occupancy = 1.0 - (b - 1.0) / self.num_bits
-        clamped = occupancy * p
-        q[self.max_fill + 1 :] = clamped[self.max_fill + 1 :]
-        q[0] = np.nan
-        return q
+        return _rate_tables(self)[0]
 
     def sampling_rates(self) -> np.ndarray:
         """Per-item sampling rates ``p_b`` for ``b = 1..m`` (index 0 is NaN).
@@ -218,8 +213,25 @@ class SBitmapDesign:
         ``p_b = m/(m+1-b) (1 + 1/C) r^b`` for ``b <= b_max`` and
         ``p_b = p_{b_max}`` afterwards (the clamp discussed in the Remark of
         Section 5.1, which keeps the sequence non-increasing as Lemma 1
-        requires).
+        requires).  The table is memoised per design and returned read-only.
         """
+        return _rate_tables(self)[1]
+
+    def expected_fill_times(self) -> np.ndarray:
+        """Expected fill times ``t_b = E[T_b]`` for ``b = 0..m``.
+
+        ``t_b = (C/2)(r^{-b} - 1)`` for ``b <= b_max``; beyond the truncation
+        level the values continue with the clamped fill rates
+        (``t_b = t_{b-1} + 1/q_b``) purely for completeness -- the estimator
+        never reads them because ``B`` is truncated at ``b_max``.  The table
+        is memoised per design and returned read-only.
+        """
+        return _rate_tables(self)[2]
+
+    # -- uncached table computations (the memoised :func:`_rate_tables` is the
+    #    only caller; the bodies are the single source of truth) ----------- #
+
+    def _compute_sampling_rates(self) -> np.ndarray:
         b = np.arange(self.num_bits + 1, dtype=float)
         with np.errstate(divide="ignore"):
             p = (
@@ -233,20 +245,21 @@ class SBitmapDesign:
         p[self.max_fill + 1 :] = clamp_value
         return np.minimum(p, 1.0)
 
-    def expected_fill_times(self) -> np.ndarray:
-        """Expected fill times ``t_b = E[T_b]`` for ``b = 0..m``.
+    def _compute_fill_rates(self, sampling_rates: np.ndarray) -> np.ndarray:
+        b = np.arange(self.num_bits + 1, dtype=float)
+        q = (1.0 + 1.0 / self.precision) * self.ratio**b
+        occupancy = 1.0 - (b - 1.0) / self.num_bits
+        clamped = occupancy * sampling_rates
+        q[self.max_fill + 1 :] = clamped[self.max_fill + 1 :]
+        q[0] = np.nan
+        return q
 
-        ``t_b = (C/2)(r^{-b} - 1)`` for ``b <= b_max``; beyond the truncation
-        level the values continue with the clamped fill rates
-        (``t_b = t_{b-1} + 1/q_b``) purely for completeness -- the estimator
-        never reads them because ``B`` is truncated at ``b_max``.
-        """
-        q = self.fill_rates()
+    def _compute_expected_fill_times(self, fill_rates: np.ndarray) -> np.ndarray:
         t = np.zeros(self.num_bits + 1, dtype=float)
         b = np.arange(self.max_fill + 1, dtype=float)
         t[: self.max_fill + 1] = self.precision / 2.0 * (self.ratio**-b - 1.0)
         for index in range(self.max_fill + 1, self.num_bits + 1):
-            t[index] = t[index - 1] + 1.0 / q[index]
+            t[index] = t[index - 1] + 1.0 / fill_rates[index]
         return t
 
     # ------------------------------------------------------------------ #
@@ -255,14 +268,27 @@ class SBitmapDesign:
 
     @classmethod
     def from_memory(cls, num_bits: int, n_max: int) -> "SBitmapDesign":
-        """Design an S-bitmap given a memory budget ``m`` and range bound ``N``."""
+        """Design an S-bitmap given a memory budget ``m`` and range bound ``N``.
+
+        Memoised on ``(num_bits, n_max)``: the figure and table drivers
+        re-dimension the same handful of designs dozens of times, and the
+        design (with its rate tables) is immutable, so they share one
+        instance and solve equation (7) once.
+        """
+        if cls is SBitmapDesign:
+            return _design_from_memory_cached(int(num_bits), int(n_max))
         precision = solve_precision_constant(num_bits, n_max)
         return cls(num_bits=num_bits, n_max=n_max, precision=precision)
 
     @classmethod
     def from_error(cls, n_max: int, target_rrmse: float) -> "SBitmapDesign":
-        """Design an S-bitmap given a target RRMSE and range bound ``N``."""
+        """Design an S-bitmap given a target RRMSE and range bound ``N``.
+
+        Memoised on ``(n_max, target_rrmse)`` (see :meth:`from_memory`).
+        """
         _validate_error(target_rrmse)
+        if cls is SBitmapDesign:
+            return _design_from_error_cached(int(n_max), float(target_rrmse))
         bits = int(math.ceil(memory_for_error(n_max, target_rrmse)))
         precision = solve_precision_constant(bits, n_max)
         return cls(num_bits=bits, n_max=n_max, precision=precision)
@@ -277,6 +303,39 @@ class SBitmapDesign:
             "ratio": self.ratio,
             "max_fill": float(self.max_fill),
         }
+
+
+@lru_cache(maxsize=256)
+def _design_from_memory_cached(num_bits: int, n_max: int) -> SBitmapDesign:
+    """Memoised design construction keyed on ``(num_bits, n_max)``."""
+    precision = solve_precision_constant(num_bits, n_max)
+    return SBitmapDesign(num_bits=num_bits, n_max=n_max, precision=precision)
+
+
+@lru_cache(maxsize=256)
+def _design_from_error_cached(n_max: int, target_rrmse: float) -> SBitmapDesign:
+    """Memoised design construction keyed on ``(n_max, target_rrmse)``."""
+    bits = int(math.ceil(memory_for_error(n_max, target_rrmse)))
+    return _design_from_memory_cached(bits, n_max)
+
+
+@lru_cache(maxsize=256)
+def _rate_tables(
+    design: SBitmapDesign,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Memoised ``(fill_rates, sampling_rates, expected_fill_times)`` tables.
+
+    Keyed on the design itself (a frozen, hashable dataclass), so equal
+    designs -- however constructed -- share one set of tables.  The arrays
+    are marked read-only because they are shared between every consumer of
+    the design (sketch, estimator, Markov model, simulators).
+    """
+    sampling = design._compute_sampling_rates()
+    fill = design._compute_fill_rates(sampling)
+    expected = design._compute_expected_fill_times(fill)
+    for table in (fill, sampling, expected):
+        table.flags.writeable = False
+    return fill, sampling, expected
 
 
 def design_from_memory(num_bits: int, n_max: int) -> SBitmapDesign:

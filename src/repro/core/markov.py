@@ -20,13 +20,38 @@ Monte-Carlo simulator are validated.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import lru_cache
 
 import numpy as np
 
 from repro.core.dimensioning import SBitmapDesign
 from repro.core.estimator import SBitmapEstimator
 
-__all__ = ["SBitmapMarkovChain"]
+__all__ = [
+    "SBitmapMarkovChain",
+    "markov_chain_from_memory",
+    "markov_chain_from_error",
+]
+
+
+@lru_cache(maxsize=256)
+def markov_chain_from_memory(num_bits: int, n_max: int) -> "SBitmapMarkovChain":
+    """Memoised chain construction keyed on ``(num_bits, n_max)``.
+
+    The chain and its design are immutable and the underlying rate tables
+    are memoised per design (:mod:`repro.core.dimensioning`), so drivers
+    that re-model the same configuration dozens of times -- the ablation and
+    figure scripts -- pay for the dimensioning solve and the tables once.
+    """
+    return SBitmapMarkovChain(SBitmapDesign.from_memory(num_bits, n_max))
+
+
+@lru_cache(maxsize=256)
+def markov_chain_from_error(
+    n_max: int, target_rrmse: float
+) -> "SBitmapMarkovChain":
+    """Memoised chain construction keyed on ``(n_max, target_rrmse)``."""
+    return SBitmapMarkovChain(SBitmapDesign.from_error(n_max, target_rrmse))
 
 
 @dataclass(frozen=True)

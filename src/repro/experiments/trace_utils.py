@@ -16,7 +16,7 @@ from repro.core.dimensioning import SBitmapDesign
 from repro.core.estimator import SBitmapEstimator
 from repro.core.theory import register_width_bits
 from repro.simulation import (
-    simulate_fill_counts,
+    simulate_fill_counts_each,
     simulate_hyperloglog_estimates,
     simulate_linear_counting_estimates,
     simulate_loglog_estimates,
@@ -39,14 +39,14 @@ def _simulate_each(
     counts: np.ndarray,
     rng: np.random.Generator,
 ) -> np.ndarray:
-    estimates = np.empty(counts.size, dtype=float)
+    # One fused simulator call per algorithm: the per-replicate cardinality
+    # shape (each interval its own true count, each from an independent draw)
+    # serves the whole trace at once.
     if algorithm == "sbitmap":
         design = SBitmapDesign.from_memory(memory_bits, n_max)
         estimator = SBitmapEstimator(design)
-        for index, count in enumerate(counts):
-            fill = simulate_fill_counts(design, np.array([count]), 1, rng)[0, 0]
-            estimates[index] = estimator.estimate(int(fill))
-        return estimates
+        fills = simulate_fill_counts_each(design, counts, rng)
+        return estimator.estimate_many(fills)
     if algorithm in ("hyperloglog", "loglog"):
         width = register_width_bits(n_max)
         registers = max(2, memory_bits // width)
@@ -55,22 +55,14 @@ def _simulate_each(
             if algorithm == "hyperloglog"
             else simulate_loglog_estimates
         )
-        for index, count in enumerate(counts):
-            estimates[index] = simulator(
-                registers, int(count), 1, rng, register_width=width
-            )[0]
-        return estimates
+        return simulator(registers, counts, counts.size, rng, register_width=width)
     if algorithm == "mr_bitmap":
         sizes = MultiresolutionBitmap.design(memory_bits, n_max).component_sizes
-        for index, count in enumerate(counts):
-            estimates[index] = simulate_mr_bitmap_estimates(sizes, int(count), 1, rng)[0]
-        return estimates
+        return simulate_mr_bitmap_estimates(sizes, counts, counts.size, rng)
     if algorithm == "linear_counting":
-        for index, count in enumerate(counts):
-            estimates[index] = simulate_linear_counting_estimates(
-                memory_bits, int(count), 1, rng
-            )[0]
-        return estimates
+        return simulate_linear_counting_estimates(
+            memory_bits, counts, counts.size, rng
+        )
     raise ValueError(f"no trace simulator for algorithm {algorithm!r}")
 
 

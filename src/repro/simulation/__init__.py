@@ -9,45 +9,65 @@ distribution given ``n``:
 
 * :mod:`repro.simulation.sbitmap_sim` -- draws the fill times ``T_b`` as sums
   of independent geometrics (Lemma 1) and reads off the fill count ``B`` for
-  every cardinality of a sweep in one pass;
+  every cardinality of a sweep in one batched ``searchsorted`` pass;
 * :mod:`repro.simulation.register_sim` -- draws LogLog / HyperLogLog register
   maxima via a multinomial split of the ``n`` items over the registers and
   inverse-transform sampling of the maximum of geometric variables;
 * :mod:`repro.simulation.occupancy_sim` -- draws the occupancy of plain,
   virtual and multiresolution bitmaps via multinomial ball-throwing.
 
-Every simulator shares its estimator code with the corresponding streaming
-sketch (the vectorised ``*_estimate`` functions), and the test-suite contains
-statistical cross-checks that the streaming and model-level paths produce the
-same error distributions.
+All simulators are loop-free over replicates and grid cells, and each exposes
+a fused ``*_sweep`` API producing the full ``(replicates, cardinalities)``
+estimate matrix from one RNG pass (see :mod:`repro.simulation.grid` for the
+shared call shapes).  Every simulator shares its estimator code with the
+corresponding streaming sketch (the vectorised ``*_estimate`` functions), and
+the test-suite contains statistical cross-checks that the streaming and
+model-level paths produce the same error distributions plus bit-exact
+equivalence tests against the historical per-replicate loop implementations.
 """
 
 from repro.simulation.occupancy_sim import (
     simulate_linear_counting_estimates,
+    simulate_linear_counting_sweep,
     simulate_mr_bitmap_estimates,
+    simulate_mr_bitmap_sweep,
     simulate_occupancy,
+    simulate_occupancy_sweep,
     simulate_virtual_bitmap_estimates,
+    simulate_virtual_bitmap_sweep,
 )
 from repro.simulation.register_sim import (
     simulate_hyperloglog_estimates,
+    simulate_hyperloglog_sweep,
     simulate_loglog_estimates,
+    simulate_loglog_sweep,
+    simulate_register_family_sweep,
     simulate_register_maxima,
 )
 from repro.simulation.sbitmap_sim import (
     simulate_fill_counts,
+    simulate_fill_counts_each,
     simulate_sbitmap_estimates,
     simulate_sbitmap_sweep,
 )
 
 __all__ = [
     "simulate_fill_counts",
+    "simulate_fill_counts_each",
     "simulate_hyperloglog_estimates",
+    "simulate_hyperloglog_sweep",
     "simulate_linear_counting_estimates",
+    "simulate_linear_counting_sweep",
     "simulate_loglog_estimates",
+    "simulate_loglog_sweep",
     "simulate_mr_bitmap_estimates",
+    "simulate_mr_bitmap_sweep",
     "simulate_occupancy",
+    "simulate_occupancy_sweep",
+    "simulate_register_family_sweep",
     "simulate_register_maxima",
     "simulate_sbitmap_estimates",
     "simulate_sbitmap_sweep",
     "simulate_virtual_bitmap_estimates",
+    "simulate_virtual_bitmap_sweep",
 ]

@@ -1,0 +1,121 @@
+"""Shared input handling for the fused ``(replicates, cardinalities)`` APIs.
+
+Every simulator in :mod:`repro.simulation` exposes three call shapes:
+
+* a *sweep* -- ``(replicates, len(cardinalities))`` estimates in one fused
+  RNG pass over an entire cardinality grid (the engine behind
+  :func:`repro.analysis.experiment.run_accuracy_sweep`);
+* a *replicated cell* -- ``(replicates,)`` estimates for one cardinality
+  (a one-column sweep);
+* a *per-replicate vector* -- one estimate per entry of a cardinality
+  array, each replicate with its own true count (the shape the trace-driven
+  experiments need).
+
+This module centralises the argument validation, the sorted-grid
+bookkeeping of the trajectory-based sweeps, and the batched row-wise
+``searchsorted`` that evaluates one trajectory per replicate at every grid
+point.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "replicated_items",
+    "validate_grid",
+    "sorted_grid",
+    "row_searchsorted_right",
+]
+
+
+def row_searchsorted_right(matrix: np.ndarray, targets: np.ndarray) -> np.ndarray:
+    """Row-wise ``searchsorted(row, targets[row], side="right")`` in one call.
+
+    ``matrix`` has one sorted row per replicate, ``targets`` one query row per
+    replicate; the result ``[i, j]`` is the number of entries of row ``i`` that
+    are ``<= targets[i, j]``.  Rows are made globally sorted by adding a
+    per-row offset larger than every value, so a single flat ``searchsorted``
+    answers all rows at once.  Both inputs are integer-valued float64 (fill
+    times are sums of geometric draws), so the offset addition is exact and
+    the result is bit-identical to a per-row loop as long as the shifted
+    values stay below ``2**53``; beyond that a per-row fallback keeps the
+    answer exact.
+    """
+    rows, levels = matrix.shape
+    if rows == 1:
+        counts = np.searchsorted(matrix[0], targets[0], side="right")
+        return counts[np.newaxis, :].astype(np.int64)
+    bound = float(max(matrix[:, -1].max(), targets.max())) + 1.0
+    if bound * rows >= 2.0**53:  # pragma: no cover - astronomically large n
+        return np.vstack(
+            [
+                np.searchsorted(matrix[row], targets[row], side="right")
+                for row in range(rows)
+            ]
+        ).astype(np.int64)
+    offsets = bound * np.arange(rows, dtype=np.float64)[:, np.newaxis]
+    flat = (matrix + offsets).ravel()
+    positions = np.searchsorted(flat, targets + offsets, side="right")
+    first = np.arange(rows, dtype=np.int64)[:, np.newaxis] * levels
+    return (positions - first).astype(np.int64)
+
+
+def validate_replicates(replicates: int) -> None:
+    """Reject non-positive replicate counts."""
+    if replicates < 1:
+        raise ValueError(f"replicates must be positive, got {replicates}")
+
+
+def replicated_items(
+    cardinality: int | np.ndarray, replicates: int
+) -> np.ndarray:
+    """Per-replicate item counts for one simulator call.
+
+    A scalar ``cardinality`` is replicated ``replicates`` times (the classic
+    replicated-cell shape); a 1-D array gives every replicate its own true
+    count and must have length ``replicates``.
+    """
+    validate_replicates(replicates)
+    cards = np.asarray(cardinality, dtype=np.int64)
+    if cards.ndim == 0:
+        if cards < 0:
+            raise ValueError(
+                f"cardinality must be non-negative, got {int(cards)}"
+            )
+        return np.full(replicates, int(cards), dtype=np.int64)
+    if cards.ndim != 1 or cards.shape[0] != replicates:
+        raise ValueError(
+            "per-replicate cardinalities must be a 1-D array of length "
+            f"replicates={replicates}, got shape {cards.shape}"
+        )
+    if np.any(cards < 0):
+        raise ValueError("cardinalities must be non-negative")
+    return cards
+
+
+def validate_grid(cardinalities: np.ndarray) -> np.ndarray:
+    """Validate a sweep's cardinality grid (non-empty 1-D, non-negative)."""
+    cards = np.asarray(cardinalities, dtype=np.int64)
+    if cards.ndim != 1 or cards.size == 0:
+        raise ValueError("cardinalities must be a non-empty 1-D array")
+    if np.any(cards < 0):
+        raise ValueError("cardinalities must be non-negative")
+    return cards
+
+
+def sorted_grid(
+    cardinalities: np.ndarray, replicates: int
+) -> tuple[np.ndarray, np.ndarray]:
+    """Ascending copy of a sweep grid plus the inverse column permutation.
+
+    The trajectory-based sweeps accumulate window increments over the grid,
+    which needs ascending cardinalities; the inverse permutation restores
+    the caller's column order on the way out.
+    """
+    cards = validate_grid(cardinalities)
+    validate_replicates(replicates)
+    order = np.argsort(cards, kind="stable")
+    inverse = np.empty_like(order)
+    inverse[order] = np.arange(order.size)
+    return cards[order], inverse

@@ -3,33 +3,71 @@
 Throwing ``n`` distinct items into ``m`` buckets is a multinomial experiment;
 the sufficient statistic of the bitmap sketches is the number of *occupied*
 buckets (per component, for the multiresolution bitmap).  These simulators
-draw that statistic exactly:
+draw that statistic exactly, through two complementary representations:
 
-* plain bitmap / linear counting: occupied = number of non-empty cells of a
-  ``Multinomial(n, 1/m)`` draw;
-* virtual bitmap: the number of *sampled* items is ``Binomial(n, r)`` first;
-* multiresolution bitmap: items are first split over the resolution levels
-  (``P(level=i) = 2^{-i}``, last level absorbs the tail), then thrown into the
-  level's component.
+* **per-draw** (:func:`simulate_occupancy`): occupied = number of non-empty
+  cells of a ``Multinomial(n, 1/m)`` draw, broadcast over an arbitrary item
+  grid in one generator pass -- the shape used for independent replicated
+  cells and for the per-interval trace experiments;
+* **trajectory** (the fused ``*_sweep`` functions): for a *sweep*, the grid
+  columns are one growing stream observed at increasing cardinalities, and
+  the occupancy process of a growing distinct stream has independent
+  geometric fill-time increments ``T_k - T_{k-1} ~ Geometric((m-k+1)/m)``
+  (the same Lemma-1 construction as the S-bitmap simulator).  One fill-time
+  draw per replicate serves *every* cardinality of the sweep via a batched
+  ``searchsorted``, which is what makes thousand-replicate sweeps to
+  ``n = 10^6`` essentially free.  Occupancy at each grid point has exactly
+  the ball-throwing law -- no Poissonisation or other approximation -- and
+  cells within one replicate are coupled exactly as one physical run would
+  couple them (the sweep summaries are per-cell, so only the per-cell law
+  matters).
 
-Estimates are produced with the same estimator functions as the streaming
-sketches (:func:`repro.sketches.linear_counting.linear_counting_estimate`,
-:func:`repro.sketches.mr_bitmap.mr_bitmap_estimate`).
+The virtual bitmap enters its trajectory through the sampled-substream
+counts (binomial increments over the grid); the multiresolution bitmap
+splits the stream over resolution levels with multinomial increments per
+grid window and then runs one exact trajectory per component (``P(level=i)
+= 2^{-i}``, last level absorbs the tail).  Estimates are produced with the
+same vectorised estimator functions as the streaming sketches
+(:func:`repro.sketches.linear_counting.linear_counting_estimate`,
+:func:`repro.sketches.mr_bitmap.mr_bitmap_estimate_array`).
+
+No simulator loops over replicates or grid cells; the only Python loops are
+memory-bounding chunk loops (NumPy consumes RNG draws entry by entry in C
+order, so chunking never changes a sampled value) and the fixed, small
+per-component loop of the multiresolution bitmap.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
+from repro.simulation import grid as simulation_grid
+from repro.simulation.grid import (
+    replicated_items,
+    sorted_grid,
+    validate_grid,
+    validate_replicates,
+)
 from repro.sketches.linear_counting import linear_counting_estimate
-from repro.sketches.mr_bitmap import DEFAULT_FILL_THRESHOLD, mr_bitmap_estimate
+from repro.sketches.mr_bitmap import (
+    DEFAULT_FILL_THRESHOLD,
+    mr_bitmap_estimate_array,
+)
 
 __all__ = [
     "simulate_occupancy",
+    "simulate_occupancy_sweep",
     "simulate_linear_counting_estimates",
+    "simulate_linear_counting_sweep",
     "simulate_virtual_bitmap_estimates",
+    "simulate_virtual_bitmap_sweep",
     "simulate_mr_bitmap_estimates",
+    "simulate_mr_bitmap_sweep",
 ]
+
+#: Upper bound on the multinomial table cells (item entries x buckets)
+#: materialised at once by :func:`simulate_occupancy`.
+_CHUNK_CELLS = 1 << 23
 
 
 def simulate_occupancy(
@@ -39,50 +77,140 @@ def simulate_occupancy(
 ) -> np.ndarray:
     """Number of occupied buckets after throwing items uniformly into buckets.
 
-    ``num_items`` may be a scalar or an array (one entry per replicate); the
-    result has the same shape.  The draw is exact (multinomial), not a
-    Poisson approximation.
+    ``num_items`` may be a scalar or an array of any shape (e.g. the full
+    ``(replicate, cell)`` grid of a sweep); the result has the same shape.
+    The draw is exact (multinomial), not a Poisson approximation, and the
+    whole batch is sampled in one broadcast multinomial pass -- chunked only
+    to bound the transient ``entries x num_buckets`` count table, which does
+    not affect the sampled values.
     """
     if num_buckets < 1:
         raise ValueError(f"num_buckets must be positive, got {num_buckets}")
-    items = np.atleast_1d(np.asarray(num_items, dtype=np.int64))
+    items = np.asarray(num_items, dtype=np.int64)
     if np.any(items < 0):
         raise ValueError("item counts must be non-negative")
+    flat = np.atleast_1d(items).ravel()
     probabilities = np.full(num_buckets, 1.0 / num_buckets)
-    occupied = np.empty(items.shape, dtype=np.int64)
-    for index, count in np.ndenumerate(items):
-        cells = rng.multinomial(int(count), probabilities)
-        occupied[index] = int(np.count_nonzero(cells))
-    if np.isscalar(num_items) or np.ndim(num_items) == 0:
+    occupied = np.empty(flat.shape[0], dtype=np.int64)
+    step = max(1, _CHUNK_CELLS // num_buckets)
+    for start in range(0, flat.shape[0], step):
+        block = flat[start : start + step]
+        cells = rng.multinomial(block, probabilities)
+        occupied[start : start + step] = np.count_nonzero(cells, axis=-1)
+    if items.ndim == 0:
         return occupied[0]
+    return occupied.reshape(items.shape)
+
+
+# --------------------------------------------------------------------------- #
+# growing-stream occupancy trajectories (the fused sweep engine)
+# --------------------------------------------------------------------------- #
+
+
+def simulate_occupancy_sweep(
+    num_buckets: int,
+    item_counts: np.ndarray,
+    rng: np.random.Generator,
+) -> np.ndarray:
+    """Occupancy of one growing stream per replicate, observed at many points.
+
+    ``item_counts`` has shape ``(replicates, points)``: entry ``[i, j]`` is
+    how many distinct items replicate ``i``'s stream has delivered by
+    observation point ``j``.  The occupancy process of a growing distinct
+    stream has independent geometric fill-time increments ``T_k - T_{k-1} ~
+    Geometric((m-k+1)/m)`` (each new item occupies a fresh bucket with
+    probability ``(m - occupied)/m``, memorylessly), so one fill-time draw
+    per replicate answers every observation point through a batched
+    ``searchsorted``: ``occupied = #{k : T_k <= n}``.  Each entry has
+    exactly the ball-throwing occupancy law of :func:`simulate_occupancy`;
+    within a row the entries are coupled as one physical run couples them
+    (the points may nevertheless be queried in any order).
+    """
+    if num_buckets < 1:
+        raise ValueError(f"num_buckets must be positive, got {num_buckets}")
+    counts = np.asarray(item_counts, dtype=np.int64)
+    if counts.ndim != 2:
+        raise ValueError("item_counts must be a (replicates, points) array")
+    if np.any(counts < 0):
+        raise ValueError("item counts must be non-negative")
+    replicates = counts.shape[0]
+    rates = (num_buckets - np.arange(num_buckets, dtype=float)) / num_buckets
+    occupied = np.empty(counts.shape, dtype=np.int64)
+    step = max(1, _CHUNK_CELLS // num_buckets)
+    for start in range(0, replicates, step):
+        stop = min(start + step, replicates)
+        increments = rng.geometric(
+            rates[np.newaxis, :], size=(stop - start, num_buckets)
+        )
+        fill_times = np.cumsum(increments, axis=1, dtype=np.float64)
+        occupied[start:stop] = simulation_grid.row_searchsorted_right(
+            fill_times, counts[start:stop].astype(np.float64)
+        )
     return occupied
+
+
+# --------------------------------------------------------------------------- #
+# linear counting
+# --------------------------------------------------------------------------- #
 
 
 def simulate_linear_counting_estimates(
     num_bits: int,
-    cardinality: int,
+    cardinality: int | np.ndarray,
     replicates: int,
     rng: np.random.Generator,
 ) -> np.ndarray:
-    """Replicated linear-counting estimates for one cardinality."""
-    _validate(cardinality, replicates)
-    items = np.full(replicates, cardinality, dtype=np.int64)
+    """Replicated linear-counting estimates (shape ``(replicates,)``).
+
+    ``cardinality`` may be a scalar (classic replicated cell) or a 1-D array
+    of length ``replicates`` giving every replicate its own true count.
+    """
+    items = replicated_items(cardinality, replicates)
     occupied = simulate_occupancy(num_bits, items, rng)
     return np.asarray(linear_counting_estimate(num_bits, occupied), dtype=float)
+
+
+def simulate_linear_counting_sweep(
+    num_bits: int,
+    cardinalities: np.ndarray,
+    replicates: int,
+    rng: np.random.Generator,
+) -> np.ndarray:
+    """Fused sweep: ``(replicates, len(cardinalities))`` estimates.
+
+    One occupancy-trajectory draw per replicate serves the entire grid (see
+    :func:`simulate_occupancy_sweep`): each replicate is one growing stream
+    observed at every cardinality, exactly as the S-bitmap sweep reuses its
+    fill-time trajectories.
+    """
+    cards = validate_grid(cardinalities)
+    validate_replicates(replicates)
+    counts = np.broadcast_to(cards, (replicates, cards.size))
+    occupied = simulate_occupancy_sweep(num_bits, counts, rng)
+    return np.asarray(linear_counting_estimate(num_bits, occupied), dtype=float)
+
+
+# --------------------------------------------------------------------------- #
+# virtual bitmap
+# --------------------------------------------------------------------------- #
+
+
+def _validate_sampling_rate(sampling_rate: float) -> None:
+    if not 0.0 < sampling_rate <= 1.0:
+        raise ValueError(f"sampling_rate must lie in (0, 1], got {sampling_rate}")
 
 
 def simulate_virtual_bitmap_estimates(
     num_bits: int,
     sampling_rate: float,
-    cardinality: int,
+    cardinality: int | np.ndarray,
     replicates: int,
     rng: np.random.Generator,
 ) -> np.ndarray:
-    """Replicated virtual-bitmap estimates for one cardinality."""
-    _validate(cardinality, replicates)
-    if not 0.0 < sampling_rate <= 1.0:
-        raise ValueError(f"sampling_rate must lie in (0, 1], got {sampling_rate}")
-    sampled = rng.binomial(cardinality, sampling_rate, size=replicates)
+    """Replicated virtual-bitmap estimates (shape ``(replicates,)``)."""
+    _validate_sampling_rate(sampling_rate)
+    items = replicated_items(cardinality, replicates)
+    sampled = rng.binomial(items, sampling_rate)
     occupied = simulate_occupancy(num_bits, sampled, rng)
     return (
         np.asarray(linear_counting_estimate(num_bits, occupied), dtype=float)
@@ -90,44 +218,135 @@ def simulate_virtual_bitmap_estimates(
     )
 
 
-def simulate_mr_bitmap_estimates(
-    component_sizes: list[int],
-    cardinality: int,
+def simulate_virtual_bitmap_sweep(
+    num_bits: int,
+    sampling_rate: float,
+    cardinalities: np.ndarray,
     replicates: int,
     rng: np.random.Generator,
-    fill_threshold: float = DEFAULT_FILL_THRESHOLD,
 ) -> np.ndarray:
-    """Replicated multiresolution-bitmap estimates for one cardinality.
+    """Fused sweep: ``(replicates, len(cardinalities))`` virtual-bitmap estimates.
 
-    Items are first split over the resolution levels with the geometric level
-    probabilities, then thrown into each level's component; the shared
-    :func:`mr_bitmap_estimate` decodes each replicate.
+    The sampled substream of a growing stream grows too: its size at the
+    grid points accumulates independent ``Binomial(delta_n, r)`` window
+    increments, and the physical bitmap sees exactly that substream, so one
+    occupancy trajectory per replicate (evaluated at the sampled counts)
+    serves the whole grid.
     """
-    _validate(cardinality, replicates)
-    num_components = len(component_sizes)
-    if num_components < 1:
-        raise ValueError("at least one component is required")
-    level_probabilities = np.array(
+    _validate_sampling_rate(sampling_rate)
+    cards, inverse = sorted_grid(cardinalities, replicates)
+    windows = np.diff(cards, prepend=0)
+    sampled_increments = rng.binomial(
+        np.broadcast_to(windows, (replicates, windows.size)), sampling_rate
+    )
+    sampled = np.cumsum(sampled_increments, axis=1)
+    occupied = simulate_occupancy_sweep(num_bits, sampled, rng)
+    estimates = (
+        np.asarray(linear_counting_estimate(num_bits, occupied), dtype=float)
+        / sampling_rate
+    )
+    return estimates[:, inverse]
+
+
+# --------------------------------------------------------------------------- #
+# multiresolution bitmap
+# --------------------------------------------------------------------------- #
+
+
+def _level_probabilities(num_components: int) -> np.ndarray:
+    """Geometric resolution-level probabilities, tail absorbed by the last."""
+    probabilities = np.array(
         [2.0**-i for i in range(1, num_components)]
         + [2.0 ** -(num_components - 1)]
     )
     # Guard against tiny floating-point drift in the tail probability.
-    level_probabilities = level_probabilities / level_probabilities.sum()
-    estimates = np.empty(replicates, dtype=float)
-    for replicate in range(replicates):
-        per_level = rng.multinomial(cardinality, level_probabilities)
-        occupancies = [
-            int(simulate_occupancy(size, int(count), rng))
-            for size, count in zip(component_sizes, per_level)
-        ]
-        estimates[replicate] = mr_bitmap_estimate(
-            list(component_sizes), occupancies, fill_threshold
+    return probabilities / probabilities.sum()
+
+
+def _mr_occupancies(
+    component_sizes: list[int],
+    items: np.ndarray,
+    rng: np.random.Generator,
+) -> np.ndarray:
+    """Per-component occupancies for a flat batch of item counts.
+
+    Splits every entry of ``items`` over the resolution levels with one
+    broadcast multinomial draw, then throws each level's share into that
+    level's component -- one occupancy pass per component (``K`` is small and
+    fixed by the design; no loop over replicates or grid cells).  Returns an
+    int array of shape ``(len(items), K)``.
+    """
+    num_components = len(component_sizes)
+    if num_components < 1:
+        raise ValueError("at least one component is required")
+    per_level = rng.multinomial(items, _level_probabilities(num_components))
+    occupancies = np.empty((items.shape[0], num_components), dtype=np.int64)
+    for index, size in enumerate(component_sizes):
+        occupancies[:, index] = simulate_occupancy(
+            int(size), per_level[:, index], rng
         )
-    return estimates
+    return occupancies
 
 
-def _validate(cardinality: int, replicates: int) -> None:
-    if cardinality < 0:
-        raise ValueError(f"cardinality must be non-negative, got {cardinality}")
-    if replicates < 1:
-        raise ValueError(f"replicates must be positive, got {replicates}")
+def simulate_mr_bitmap_estimates(
+    component_sizes: list[int],
+    cardinality: int | np.ndarray,
+    replicates: int,
+    rng: np.random.Generator,
+    fill_threshold: float = DEFAULT_FILL_THRESHOLD,
+) -> np.ndarray:
+    """Replicated multiresolution-bitmap estimates (shape ``(replicates,)``).
+
+    Items are first split over the resolution levels with the geometric level
+    probabilities, then thrown into each level's component; the shared
+    :func:`mr_bitmap_estimate_array` decodes all replicates at once.
+    """
+    items = replicated_items(cardinality, replicates)
+    occupancies = _mr_occupancies(component_sizes, items, rng)
+    return np.asarray(
+        mr_bitmap_estimate_array(
+            list(component_sizes), occupancies, fill_threshold
+        ),
+        dtype=float,
+    )
+
+
+def simulate_mr_bitmap_sweep(
+    component_sizes: list[int],
+    cardinalities: np.ndarray,
+    replicates: int,
+    rng: np.random.Generator,
+    fill_threshold: float = DEFAULT_FILL_THRESHOLD,
+) -> np.ndarray:
+    """Fused sweep: ``(replicates, len(cardinalities))`` mr-bitmap estimates.
+
+    The growing stream is split over the resolution levels with one
+    multinomial increment draw per grid window (the cumulated level counts
+    are exactly the multinomial level-split of the old per-cell simulator,
+    jointly across components), and each component then runs one exact
+    occupancy trajectory per replicate in its own item time.  Conditional on
+    the level counts the components are independent uniform ball-throwing,
+    so the per-cell joint law across components -- which the base-level
+    selection of the decoder depends on -- is exact.
+    """
+    num_components = len(component_sizes)
+    if num_components < 1:
+        raise ValueError("at least one component is required")
+    cards, inverse = sorted_grid(cardinalities, replicates)
+    windows = np.diff(cards, prepend=0)
+    level_increments = rng.multinomial(
+        np.broadcast_to(windows, (replicates, windows.size)),
+        _level_probabilities(num_components),
+    )
+    per_level = np.cumsum(level_increments, axis=1)  # (R, C, K)
+    occupancies = np.empty(
+        (replicates, cards.size, num_components), dtype=np.int64
+    )
+    for index, size in enumerate(component_sizes):
+        occupancies[:, :, index] = simulate_occupancy_sweep(
+            int(size), per_level[:, :, index], rng
+        )
+    estimates = mr_bitmap_estimate_array(
+        list(component_sizes), occupancies, fill_threshold
+    )
+    return np.asarray(estimates, dtype=float)[:, inverse]

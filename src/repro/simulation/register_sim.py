@@ -18,14 +18,41 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.simulation.grid import replicated_items, sorted_grid
 from repro.sketches.hyperloglog import hyperloglog_estimate
 from repro.sketches.loglog import loglog_estimate
 
 __all__ = [
     "simulate_register_maxima",
     "simulate_loglog_estimates",
+    "simulate_loglog_sweep",
     "simulate_hyperloglog_estimates",
+    "simulate_hyperloglog_sweep",
+    "simulate_register_family_sweep",
 ]
+
+#: Upper bound on the register-table cells (item entries x registers)
+#: materialised at once by the fused sweep engine; sized so every pass of a
+#: chunk (counts, uniforms, maxima, estimators) stays cache-friendly.
+_CHUNK_CELLS = 1 << 20
+
+#: Grid windows with at most this many items per register draw their
+#: register assignments directly (uniform picks + histogram) instead of the
+#: conditional-binomial multinomial chain -- same exact law, far cheaper for
+#: the small windows that make up half of a log-spaced sweep grid.  The
+#: break-even sits where ``n`` uniform picks cost as much as ``m``
+#: conditional binomials (measured ~14 items per register on this class of
+#: hardware).
+_DIRECT_DRAW_FACTOR = 14
+
+
+#: ``log(1 - 2^-x)`` for ``x = 1..63``: the inverse-transform thresholds of
+#: the max-of-geometrics CDF ``F(x) = (1 - 2^-x)^k`` in log-space.
+_MAX_GEOMETRIC_THRESHOLDS = np.log1p(-np.exp2(-np.arange(1.0, 64.0)))
+
+#: The same thresholds negated and reversed (ascending), for the
+#: exponential-draw variant of the sampler.
+_NEGATED_THRESHOLDS = np.ascontiguousarray(-_MAX_GEOMETRIC_THRESHOLDS[::-1])
 
 
 def _max_geometric(counts: np.ndarray, rng: np.random.Generator, max_value: int) -> np.ndarray:
@@ -33,26 +60,57 @@ def _max_geometric(counts: np.ndarray, rng: np.random.Generator, max_value: int)
 
     Uses inverse-transform sampling of the maximum's CDF
     ``F(x) = (1 - 2^{-x})^k``: with ``U`` uniform, the sample is the smallest
-    integer ``x`` with ``2^{-x} <= 1 - U^{1/k}``, i.e.
-    ``x = ceil(-log2(1 - U^{1/k}))``.  Entries with ``k = 0`` return 0.
-    Values are clipped to ``max_value`` (the register width cap).
+    integer ``x`` with ``U <= (1 - 2^{-x})^k``, located by comparing
+    ``log(U)/k`` against the precomputed thresholds ``log(1 - 2^{-x})`` (one
+    ``searchsorted`` instead of the ``expm1``/``log2``/``ceil`` chain --
+    same inverse transform, evaluated in log-space).  Entries with ``k = 0``
+    return 0.  Values are clipped to ``max_value`` (the register width cap).
     """
-    counts = np.asarray(counts, dtype=np.float64)
+    counts = np.asarray(counts)
     uniforms = rng.random(counts.shape)
-    with np.errstate(divide="ignore", invalid="ignore"):
-        # 1 - U^(1/k), computed in log-space for numerical stability when k is
-        # large (U^(1/k) is then extremely close to 1).
-        log_u_over_k = np.log(uniforms) / np.maximum(counts, 1.0)
-        tail = -np.expm1(log_u_over_k)  # = 1 - U^(1/k)
-        tail = np.maximum(tail, 1e-300)
-        values = np.ceil(-np.log2(tail))
-    values = np.where(counts > 0, values, 0.0)
-    return np.clip(values, 0, max_value).astype(np.int64)
+    with np.errstate(divide="ignore"):
+        # log(U)/k: stable for large k (U^(1/k) itself would collapse to 1).
+        scaled = np.log(uniforms) / np.maximum(counts, 1)
+    values = np.searchsorted(_MAX_GEOMETRIC_THRESHOLDS, scaled, side="left")
+    values += 1
+    np.minimum(values, max_value, out=values)
+    values[counts <= 0] = 0
+    return values
+
+
+def _max_geometric_exponential(
+    counts: np.ndarray, rng: np.random.Generator, max_value: int
+) -> np.ndarray:
+    """:func:`_max_geometric` with the uniform drawn as ``exp(-E)``.
+
+    ``-log(U)`` is a standard exponential, so drawing ``E`` directly with
+    the ziggurat sampler replaces the uniform draw *and* the log pass --
+    exactly the same max-of-geometrics law, one cheap pass instead of two
+    (different RNG stream, hence a separate function: the plain
+    :func:`_max_geometric` keeps draw-order compatibility for
+    :func:`simulate_register_maxima`).  The location rule mirrors the
+    uniform version: ``M = 1 + #{x : -log(1-2^-x) > E/k}``.
+    """
+    counts = np.asarray(counts)
+    scaled = rng.standard_exponential(counts.shape) / np.maximum(counts, 1)
+    # _NEGATED_THRESHOLDS is ascending; counting the thresholds strictly
+    # above E/k from the right end locates the same index as the uniform
+    # version's left-side search.
+    values = np.searchsorted(_NEGATED_THRESHOLDS, scaled, side="right")
+    np.subtract(_NEGATED_THRESHOLDS.size + 1, values, out=values)
+    np.minimum(values, max_value, out=values)
+    values[counts <= 0] = 0
+    return values
+
+
+def _validate_registers(num_registers: int) -> None:
+    if num_registers < 2:
+        raise ValueError(f"need at least 2 registers, got {num_registers}")
 
 
 def simulate_register_maxima(
     num_registers: int,
-    cardinality: int,
+    cardinality: int | np.ndarray,
     replicates: int,
     rng: np.random.Generator,
     register_width: int = 5,
@@ -61,23 +119,111 @@ def simulate_register_maxima(
 
     Returns an int array of shape ``(replicates, num_registers)`` distributed
     exactly as the registers of a LogLog / HyperLogLog sketch that processed
-    ``cardinality`` distinct items with an ideal hash.
+    ``cardinality`` distinct items with an ideal hash.  ``cardinality`` may
+    be a scalar or a 1-D array of length ``replicates`` (one true count per
+    replicate); both shapes are sampled in a single broadcast multinomial
+    pass plus one inverse-transform pass.
     """
-    if num_registers < 2:
-        raise ValueError(f"need at least 2 registers, got {num_registers}")
-    if cardinality < 0:
-        raise ValueError(f"cardinality must be non-negative, got {cardinality}")
-    if replicates < 1:
-        raise ValueError(f"replicates must be positive, got {replicates}")
+    _validate_registers(num_registers)
+    items = replicated_items(cardinality, replicates)
     max_value = (1 << register_width) - 1
     probabilities = np.full(num_registers, 1.0 / num_registers)
-    counts = rng.multinomial(cardinality, probabilities, size=replicates)
+    counts = rng.multinomial(items, probabilities)
     return _max_geometric(counts, rng, max_value)
+
+
+def _multinomial_counts(
+    items: np.ndarray, num_registers: int, rng: np.random.Generator
+) -> np.ndarray:
+    """Exact ``Multinomial(n, uniform)`` counts for a flat batch of totals.
+
+    Entries are routed to one of two exact samplers by size: small totals
+    draw their register assignments directly (``n`` uniform picks plus a
+    histogram -- the definition of the multinomial experiment), large totals
+    use the conditional-binomial multinomial chain.  Direct drawing is an
+    order of magnitude cheaper for totals up to a few times the register
+    count, which is half the windows of a log-spaced sweep grid.
+    """
+    counts = np.empty((items.shape[0], num_registers), dtype=np.int64)
+    direct = items <= _DIRECT_DRAW_FACTOR * num_registers
+    direct_index = np.flatnonzero(direct)
+    if direct_index.size:
+        sizes = items[direct_index]
+        picks = rng.integers(
+            0, num_registers, size=int(sizes.sum()), dtype=np.int64
+        )
+        owner = np.repeat(
+            np.arange(direct_index.size, dtype=np.int64) * num_registers, sizes
+        )
+        picks += owner
+        counts[direct_index] = np.bincount(
+            picks, minlength=direct_index.size * num_registers
+        ).reshape(-1, num_registers)
+    chain_index = np.flatnonzero(~direct)
+    if chain_index.size:
+        probabilities = np.full(num_registers, 1.0 / num_registers)
+        counts[chain_index] = rng.multinomial(items[chain_index], probabilities)
+    return counts
+
+
+def simulate_register_family_sweep(
+    num_registers: int,
+    cardinalities: np.ndarray,
+    replicates: int,
+    rng: np.random.Generator,
+    register_width: int = 5,
+    algorithms: tuple[str, ...] = ("loglog", "hyperloglog"),
+) -> dict[str, np.ndarray]:
+    """Fused sweep for the whole LogLog family from one register pass.
+
+    LogLog and HyperLogLog read identically-distributed register arrays --
+    they differ only in the estimator -- so one simulated register state
+    serves every requested estimator: the returned mapping has one
+    ``(replicates, len(cardinalities))`` estimate matrix per algorithm.
+
+    Each replicate is one growing stream observed at every cardinality of
+    the grid (the same coupling as the S-bitmap and occupancy sweeps): the
+    per-window item counts split over the registers with independent
+    multinomial increments, each window contributes the maximum of its
+    items' geometric ``rho`` statistics, and the register state at a grid
+    point is the running maximum over the windows so far -- all exact in
+    discrete item time, with the per-cell joint law across registers (which
+    the stochastic-averaged estimators depend on) identical to
+    :func:`simulate_register_maxima`.  Replicates are processed in
+    memory-bounding slices; no loop touches replicates or grid cells.
+    """
+    _validate_registers(num_registers)
+    unknown = [name for name in algorithms if name not in _FAMILY_ESTIMATORS]
+    if unknown:
+        raise ValueError(f"unknown register-family algorithms: {unknown}")
+    cards, inverse = sorted_grid(cardinalities, replicates)
+    windows = np.diff(cards, prepend=0)
+    max_value = (1 << register_width) - 1
+    results = {
+        name: np.empty((replicates, cards.size), dtype=float)
+        for name in algorithms
+    }
+    step = max(1, _CHUNK_CELLS // (cards.size * num_registers))
+    for start in range(0, replicates, step):
+        stop = min(start + step, replicates)
+        block = np.broadcast_to(
+            windows, (stop - start, windows.size)
+        ).ravel()
+        increments = _multinomial_counts(block, num_registers, rng)
+        window_maxima = _max_geometric_exponential(
+            increments, rng, max_value
+        ).reshape(stop - start, windows.size, num_registers)
+        registers = np.maximum.accumulate(window_maxima, axis=1)
+        for name in algorithms:
+            results[name][start:stop] = _FAMILY_ESTIMATORS[name](
+                registers, axis=-1
+            )
+    return {name: matrix[:, inverse] for name, matrix in results.items()}
 
 
 def simulate_loglog_estimates(
     num_registers: int,
-    cardinality: int,
+    cardinality: int | np.ndarray,
     replicates: int,
     rng: np.random.Generator,
     register_width: int = 5,
@@ -89,9 +235,23 @@ def simulate_loglog_estimates(
     return np.asarray(loglog_estimate(registers, axis=1), dtype=float)
 
 
+def simulate_loglog_sweep(
+    num_registers: int,
+    cardinalities: np.ndarray,
+    replicates: int,
+    rng: np.random.Generator,
+    register_width: int = 5,
+) -> np.ndarray:
+    """Fused sweep: ``(replicates, len(cardinalities))`` LogLog estimates."""
+    return simulate_register_family_sweep(
+        num_registers, cardinalities, replicates, rng, register_width,
+        algorithms=("loglog",),
+    )["loglog"]
+
+
 def simulate_hyperloglog_estimates(
     num_registers: int,
-    cardinality: int,
+    cardinality: int | np.ndarray,
     replicates: int,
     rng: np.random.Generator,
     register_width: int = 5,
@@ -101,3 +261,25 @@ def simulate_hyperloglog_estimates(
         num_registers, cardinality, replicates, rng, register_width
     )
     return np.asarray(hyperloglog_estimate(registers, axis=1), dtype=float)
+
+
+def simulate_hyperloglog_sweep(
+    num_registers: int,
+    cardinalities: np.ndarray,
+    replicates: int,
+    rng: np.random.Generator,
+    register_width: int = 5,
+) -> np.ndarray:
+    """Fused sweep: ``(replicates, len(cardinalities))`` HyperLogLog estimates."""
+    return simulate_register_family_sweep(
+        num_registers, cardinalities, replicates, rng, register_width,
+        algorithms=("hyperloglog",),
+    )["hyperloglog"]
+
+
+#: Estimators servable from one shared register pass (see
+#: :func:`simulate_register_family_sweep`).
+_FAMILY_ESTIMATORS = {
+    "loglog": loglog_estimate,
+    "hyperloglog": hyperloglog_estimate,
+}

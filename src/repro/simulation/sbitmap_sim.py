@@ -18,13 +18,20 @@ import numpy as np
 
 from repro.core.dimensioning import SBitmapDesign
 from repro.core.estimator import SBitmapEstimator
+from repro.simulation.grid import row_searchsorted_right as _row_searchsorted_right
 
 __all__ = [
     "simulate_fill_times",
     "simulate_fill_counts",
+    "simulate_fill_counts_each",
     "simulate_sbitmap_estimates",
     "simulate_sbitmap_sweep",
 ]
+
+#: Upper bound on the (replicates x b_max) fill-time cells held at once; the
+#: RNG consumes its draws per replicate in order, so the chunking bounds the
+#: memory footprint without changing any sampled value.
+_CHUNK_CELLS = 4_000_000
 
 
 def simulate_fill_times(
@@ -72,17 +79,47 @@ def simulate_fill_counts(
     if replicates < 1:
         raise ValueError(f"replicates must be positive, got {replicates}")
     counts = np.empty((replicates, cards.size), dtype=np.int64)
+    targets = cards.astype(np.float64)
     # Chunk the replicates so the (replicates x b_max) fill-time matrix stays
     # within a modest memory footprint even for 40k-bit designs.
-    chunk_size = max(1, 4_000_000 // max(design.max_fill, 1))
+    chunk_size = max(1, _CHUNK_CELLS // max(design.max_fill, 1))
     start = 0
     while start < replicates:
         stop = min(start + chunk_size, replicates)
         fill_times = simulate_fill_times(design, stop - start, rng)
-        for offset in range(stop - start):
-            counts[start + offset] = np.searchsorted(
-                fill_times[offset], cards, side="right"
-            )
+        counts[start:stop] = _row_searchsorted_right(
+            fill_times, np.broadcast_to(targets, (stop - start, targets.size))
+        )
+        start = stop
+    return counts
+
+
+def simulate_fill_counts_each(
+    design: SBitmapDesign,
+    cardinalities: np.ndarray,
+    rng: np.random.Generator,
+) -> np.ndarray:
+    """One fill count per entry of ``cardinalities``, independent trajectories.
+
+    Unlike :func:`simulate_fill_counts`, which reuses each simulated run
+    across the whole grid (one growing stream observed at many points), every
+    entry here gets its own fresh fill-time draw -- the shape the trace-driven
+    experiments need (one independent sketch per measurement interval).
+    Returns an int array with the same length as ``cardinalities``.
+    """
+    cards = np.asarray(cardinalities, dtype=np.int64)
+    if cards.ndim != 1 or cards.size == 0:
+        raise ValueError("cardinalities must be a non-empty 1-D array")
+    if np.any(cards < 0):
+        raise ValueError("cardinalities must be non-negative")
+    counts = np.empty(cards.size, dtype=np.int64)
+    chunk_size = max(1, _CHUNK_CELLS // max(design.max_fill, 1))
+    start = 0
+    while start < cards.size:
+        stop = min(start + chunk_size, cards.size)
+        fill_times = simulate_fill_times(design, stop - start, rng)
+        targets = cards[start:stop].astype(np.float64)[:, np.newaxis]
+        counts[start:stop] = _row_searchsorted_right(fill_times, targets)[:, 0]
         start = stop
     return counts
 

@@ -41,17 +41,34 @@ def hyperloglog_alpha(num_registers: int) -> float:
     return 0.7213 / (1.0 + 1.079 / num_registers)
 
 
+#: ``2^-x`` for register values ``x = 0..255`` (every representable value of
+#: a register of up to 8 bits); exact powers of two, so the table lookup of
+#: :func:`hyperloglog_estimate` is bit-identical to ``np.exp2(-values)``.
+_INVERSE_POWERS = np.exp2(-np.arange(256, dtype=float))
+
+
 def hyperloglog_estimate(registers: np.ndarray, axis: int = -1) -> np.ndarray | float:
     """Vectorised HyperLogLog estimator with the small-range correction.
 
-    ``registers`` may be 1-D (one sketch) or 2-D (one sketch per row); the
-    fast model-level simulators in :mod:`repro.simulation` share this exact
-    estimator with the streaming class.
+    ``registers`` may be 1-D (one sketch) or N-D (one sketch per row, with
+    ``axis`` selecting the register dimension); the fast model-level
+    simulators in :mod:`repro.simulation` share this exact estimator with
+    the streaming class.  Integer register arrays take a table-lookup fast
+    path for the ``2^-M`` terms (bit-identical to the ``exp2`` evaluation).
     """
-    values = np.asarray(registers, dtype=float)
+    values = np.asarray(registers)
     num_registers = values.shape[axis]
     alpha = hyperloglog_alpha(num_registers)
-    raw = alpha * num_registers**2 / np.sum(np.exp2(-values), axis=axis)
+    if (
+        np.issubdtype(values.dtype, np.integer)
+        and values.size
+        and 0 <= int(values.min())
+        and int(values.max()) < _INVERSE_POWERS.size
+    ):
+        inverse_powers = _INVERSE_POWERS[values]
+    else:
+        inverse_powers = np.exp2(-np.asarray(values, dtype=float))
+    raw = alpha * num_registers**2 / np.sum(inverse_powers, axis=axis)
     zero_registers = np.sum(values == 0, axis=axis)
     with np.errstate(divide="ignore"):
         linear = num_registers * np.log(

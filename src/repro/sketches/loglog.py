@@ -59,10 +59,12 @@ def loglog_estimate(registers: np.ndarray, axis: int = -1) -> np.ndarray | float
     simulators in :mod:`repro.simulation` share this exact estimator with the
     streaming class so the two paths cannot drift apart.
     """
-    values = np.asarray(registers, dtype=float)
+    values = np.asarray(registers)
     num_registers = values.shape[axis]
     alpha = loglog_alpha(num_registers)
-    mean_register = values.mean(axis=axis)
+    # ``mean`` promotes integer registers to float64 itself; skipping the
+    # up-front cast avoids copying large simulated register tables.
+    mean_register = values.mean(axis=axis, dtype=np.float64)
     result = alpha * num_registers * 2.0**mean_register
     if np.ndim(result) == 0:
         return float(result)

@@ -34,7 +34,11 @@ from repro.hashing.arrays import rho_array
 from repro.hashing.family import HashFamily, MixerHashFamily, hash_family_from_config
 from repro.sketches.base import DistinctCounter, pack_bool_array, unpack_bool_array
 
-__all__ = ["MultiresolutionBitmap", "mr_bitmap_estimate"]
+__all__ = [
+    "MultiresolutionBitmap",
+    "mr_bitmap_estimate",
+    "mr_bitmap_estimate_array",
+]
 
 #: Occupancy fraction above which a component is considered unreliable and is
 #: excluded from the estimate (the role of ``setmax`` in Estan et al.).
@@ -70,6 +74,51 @@ def mr_bitmap_estimate(
             total += size * math.log(size)
         else:
             total += size * math.log(size / empty)
+    return 2.0 ** (base - 1) * total
+
+
+def mr_bitmap_estimate_array(
+    component_sizes: list[int],
+    occupancies: np.ndarray,
+    fill_threshold: float = DEFAULT_FILL_THRESHOLD,
+) -> np.ndarray:
+    """Vectorised :func:`mr_bitmap_estimate` over a batch of occupancy rows.
+
+    ``occupancies`` has the per-component occupancies along its last axis
+    (shape ``(..., K)``); the result drops that axis.  Per row the decode is
+    bit-identical to the scalar function: the base-level selection, the
+    per-component linear-counting terms and the left-to-right summation all
+    perform the same IEEE operations (``K`` is far below NumPy's pairwise
+    summation threshold).  This is the decoder of the fused Monte-Carlo
+    sweep engine in :mod:`repro.simulation.occupancy_sim`.
+    """
+    sizes = np.asarray(component_sizes, dtype=float)
+    if sizes.ndim != 1 or sizes.size == 0:
+        raise ValueError("at least one component is required")
+    occupied = np.asarray(occupancies, dtype=float)
+    if occupied.shape[-1] != sizes.size:
+        raise ValueError(
+            "occupancies and component_sizes must have the same length "
+            f"({occupied.shape[-1]} vs {sizes.size})"
+        )
+    num_components = sizes.size
+    over = occupied / sizes > fill_threshold
+    any_over = over.any(axis=-1)
+    # 1-based level of the last saturated component (rows with none are
+    # masked by ``any_over`` below).
+    last_over = num_components - np.argmax(over[..., ::-1], axis=-1)
+    base = np.where(any_over, last_over + 1, 1)
+    base = np.minimum(base, num_components)
+    empty = sizes - occupied
+    safe_empty = np.where(empty > 0, empty, 1.0)
+    contribution = np.where(
+        empty > 0,
+        sizes * np.log(sizes / safe_empty),
+        sizes * np.log(sizes),
+    )
+    levels = np.arange(1, num_components + 1)
+    included = levels >= base[..., np.newaxis]
+    total = np.sum(contribution * included, axis=-1)
     return 2.0 ** (base - 1) * total
 
 

@@ -1,0 +1,115 @@
+"""Smoke test of the sweep-benchmark artifact generation.
+
+``benchmarks/run_bench_sweeps.py`` writes the ``BENCH_sweeps.json`` artifact
+that tracks Monte-Carlo sweep throughput (per-cell legacy path vs the fused
+sweep engine) across PRs.  This tier-1 smoke invocation runs the same suite
+at a tiny grid size and validates the payload shape, so the artifact
+generation cannot silently rot between benchmark runs.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+
+@pytest.fixture(scope="module")
+def run_bench_sweeps():
+    spec = importlib.util.spec_from_file_location(
+        "run_bench_sweeps", REPO_ROOT / "benchmarks" / "run_bench_sweeps.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    sys.modules.setdefault("run_bench_sweeps", module)
+    spec.loader.exec_module(module)
+    return module
+
+
+@pytest.fixture(scope="module")
+def smoke_payload(run_bench_sweeps):
+    return run_bench_sweeps.run_suite(
+        replicates=30,
+        num_cardinalities=5,
+        memory_bits=512,
+        n_max=100_000,
+        streaming_cardinality=2_000,
+        streaming_replicates=2,
+    )
+
+
+def test_payload_shape(smoke_payload):
+    assert smoke_payload["suite"] == "montecarlo_sweep_throughput"
+    assert smoke_payload["cpu_count"] >= 1
+    assert smoke_payload["config"]["replicates"] == 30
+    simulate = smoke_payload["results"]["simulate"]
+    assert set(simulate["per_cell_seconds_by_algorithm"]) == {
+        "sbitmap", "hyperloglog", "loglog", "mr_bitmap", "linear_counting",
+    }
+    assert set(simulate["fused_seconds_by_pass"]) == {
+        "sbitmap", "register_family", "mr_bitmap", "linear_counting",
+    }
+    assert simulate["per_cell_seconds"] > 0
+    assert simulate["fused_seconds"] > 0
+    assert simulate["speedup"] > 0
+    assert simulate["grid_cells"] == 30 * 5 * 5
+
+
+def test_streaming_row(smoke_payload):
+    streaming = smoke_payload["results"]["streaming"]
+    assert streaming["algorithm"] == "sbitmap"
+    assert streaming["per_item"]["items_per_sec"] > 0
+    assert streaming["batch"]["items_per_sec"] > 0
+    assert streaming["speedup"] > 0
+
+
+def test_write_artifact_round_trips(run_bench_sweeps, smoke_payload, tmp_path):
+    path = run_bench_sweeps.write_artifact(
+        smoke_payload, tmp_path / "BENCH_sweeps.json"
+    )
+    assert json.loads(path.read_text()) == smoke_payload
+
+
+def test_cli_writes_artifact(run_bench_sweeps, tmp_path, capsys):
+    output = tmp_path / "sweeps.json"
+    exit_code = run_bench_sweeps.main(
+        [
+            "--replicates", "20",
+            "--cardinalities", "4",
+            "--memory-bits", "512",
+            "--n-max", "50000",
+            "--streaming-cardinality", "1000",
+            "--streaming-replicates", "2",
+            "--output", str(output),
+        ]
+    )
+    assert exit_code == 0
+    payload = json.loads(output.read_text())
+    assert payload["config"]["replicates"] == 20
+    assert "speedup" in capsys.readouterr().out
+
+
+def test_committed_artifact_is_current(run_bench_sweeps):
+    """The committed artifact must exist, match the schema, and record the
+    tracked fused-vs-per-cell speedup at full scale."""
+    artifact = REPO_ROOT / "BENCH_sweeps.json"
+    assert artifact.exists(), (
+        "BENCH_sweeps.json missing at the repo root; regenerate with "
+        "`PYTHONPATH=src python benchmarks/run_bench_sweeps.py`"
+    )
+    payload = json.loads(artifact.read_text())
+    assert payload["suite"] == "montecarlo_sweep_throughput"
+    assert payload["config"]["replicates"] >= 1_000, (
+        "committed artifact was generated at a reduced scale"
+    )
+    assert payload["config"]["num_cardinalities"] >= 20
+    assert payload["cpu_count"] >= 1
+    assert payload["results"]["simulate"]["speedup"] >= 10.0, (
+        "fused sweep engine no longer an order of magnitude faster than the "
+        "per-cell path"
+    )
+    assert payload["results"]["streaming"]["speedup"] > 1.0

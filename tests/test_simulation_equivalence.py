@@ -1,0 +1,407 @@
+"""Equivalence tests: fused sweep engine vs the historical loop simulators.
+
+Every vectorised simulator is pinned against the pre-fused-engine reference
+implementation kept verbatim in this module:
+
+* where the fused path consumes the RNG in the same order as the loops
+  (S-bitmap fill counts, occupancy batches, register maxima, the
+  linear-counting replicated cell, the virtual-bitmap replicated cell), the
+  outputs must be **bit-identical** for the same seed;
+* where the draw order legitimately changed (trajectory-based sweeps, the
+  exponential-draw max-of-geometrics, the multiresolution vectorisation),
+  the outputs are checked **statistically** -- means and RRMSE against the
+  loop reference within tolerances sized by the replicate count.
+
+The cache-correctness tests pin the memoised design/markov constructions
+against freshly built objects.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.dimensioning import (
+    SBitmapDesign,
+    _design_from_memory_cached,
+    solve_precision_constant,
+)
+from repro.core.markov import (
+    SBitmapMarkovChain,
+    markov_chain_from_error,
+    markov_chain_from_memory,
+)
+from repro.simulation import (
+    simulate_fill_counts,
+    simulate_fill_counts_each,
+    simulate_hyperloglog_estimates,
+    simulate_linear_counting_estimates,
+    simulate_linear_counting_sweep,
+    simulate_loglog_estimates,
+    simulate_mr_bitmap_estimates,
+    simulate_mr_bitmap_sweep,
+    simulate_occupancy,
+    simulate_occupancy_sweep,
+    simulate_register_family_sweep,
+    simulate_register_maxima,
+    simulate_virtual_bitmap_estimates,
+    simulate_virtual_bitmap_sweep,
+)
+from repro.simulation.grid import row_searchsorted_right
+from repro.simulation.sbitmap_sim import simulate_fill_times
+from repro.sketches.linear_counting import linear_counting_estimate
+from repro.sketches.mr_bitmap import mr_bitmap_estimate, mr_bitmap_estimate_array
+
+
+# --------------------------------------------------------------------------- #
+# loop reference implementations (historical code, kept verbatim)
+# --------------------------------------------------------------------------- #
+
+
+def loop_fill_counts(design, cardinalities, replicates, rng):
+    """Per-offset ``searchsorted`` loop (pre-batched implementation)."""
+    cards = np.asarray(cardinalities, dtype=np.int64)
+    counts = np.empty((replicates, cards.size), dtype=np.int64)
+    chunk_size = max(1, 4_000_000 // max(design.max_fill, 1))
+    start = 0
+    while start < replicates:
+        stop = min(start + chunk_size, replicates)
+        fill_times = simulate_fill_times(design, stop - start, rng)
+        for offset in range(stop - start):
+            counts[start + offset] = np.searchsorted(
+                fill_times[offset], cards, side="right"
+            )
+        start = stop
+    return counts
+
+
+def loop_occupancy(num_buckets, num_items, rng):
+    """Per-entry ``np.ndenumerate`` multinomial loop."""
+    items = np.atleast_1d(np.asarray(num_items, dtype=np.int64))
+    probabilities = np.full(num_buckets, 1.0 / num_buckets)
+    occupied = np.empty(items.shape, dtype=np.int64)
+    for index, count in np.ndenumerate(items):
+        cells = rng.multinomial(int(count), probabilities)
+        occupied[index] = int(np.count_nonzero(cells))
+    return occupied
+
+
+def loop_register_maxima(num_registers, cardinality, replicates, rng, width=5):
+    """Scalar-``n`` multinomial plus the transcendental inverse transform."""
+    max_value = (1 << width) - 1
+    probabilities = np.full(num_registers, 1.0 / num_registers)
+    counts = rng.multinomial(cardinality, probabilities, size=replicates)
+    floats = counts.astype(np.float64)
+    uniforms = rng.random(floats.shape)
+    with np.errstate(divide="ignore", invalid="ignore"):
+        log_u_over_k = np.log(uniforms) / np.maximum(floats, 1.0)
+        tail = -np.expm1(log_u_over_k)
+        tail = np.maximum(tail, 1e-300)
+        values = np.ceil(-np.log2(tail))
+    values = np.where(floats > 0, values, 0.0)
+    return np.clip(values, 0, max_value).astype(np.int64)
+
+
+def loop_mr_bitmap_estimates(component_sizes, cardinality, replicates, rng):
+    """Per-replicate multiresolution loop with the scalar decoder."""
+    num_components = len(component_sizes)
+    level_probabilities = np.array(
+        [2.0**-i for i in range(1, num_components)]
+        + [2.0 ** -(num_components - 1)]
+    )
+    level_probabilities = level_probabilities / level_probabilities.sum()
+    estimates = np.empty(replicates, dtype=float)
+    for replicate in range(replicates):
+        per_level = rng.multinomial(cardinality, level_probabilities)
+        occupancies = [
+            int(loop_occupancy(size, int(count), rng)[0])
+            for size, count in zip(component_sizes, per_level)
+        ]
+        estimates[replicate] = mr_bitmap_estimate(
+            list(component_sizes), occupancies
+        )
+    return estimates
+
+
+def rrmse(estimates, truth):
+    return float(np.sqrt(np.mean((np.asarray(estimates) / truth - 1.0) ** 2)))
+
+
+# --------------------------------------------------------------------------- #
+# bit-identical paths (draw order preserved)
+# --------------------------------------------------------------------------- #
+
+
+class TestBitIdentical:
+    def test_fill_counts_matches_loop(self, small_design):
+        cards = np.array([0, 10, 500, 5_000, 100_000])
+        fused = simulate_fill_counts(
+            small_design, cards, 67, np.random.default_rng(5)
+        )
+        loop = loop_fill_counts(small_design, cards, 67, np.random.default_rng(5))
+        np.testing.assert_array_equal(fused, loop)
+
+    def test_fill_counts_each_matches_loop_of_single_draws(self, small_design):
+        counts = np.array([10, 250, 4_000, 19_000])
+        fused = simulate_fill_counts_each(
+            small_design, counts, np.random.default_rng(8)
+        )
+        rng = np.random.default_rng(8)
+        singles = [
+            loop_fill_counts(small_design, np.array([count]), 1, rng)[0, 0]
+            for count in counts
+        ]
+        np.testing.assert_array_equal(fused, singles)
+
+    def test_occupancy_matches_loop(self):
+        items = np.array([[0, 10, 999], [128, 5_000, 3]])
+        fused = simulate_occupancy(128, items, np.random.default_rng(3))
+        loop = loop_occupancy(128, items, np.random.default_rng(3))
+        np.testing.assert_array_equal(fused, loop)
+
+    def test_linear_counting_cell_matches_loop(self):
+        fused = simulate_linear_counting_estimates(
+            1_024, 400, 40, np.random.default_rng(9)
+        )
+        rng = np.random.default_rng(9)
+        occupied = loop_occupancy(1_024, np.full(40, 400, dtype=np.int64), rng)
+        loop = np.asarray(linear_counting_estimate(1_024, occupied), dtype=float)
+        np.testing.assert_array_equal(fused, loop)
+
+    def test_virtual_bitmap_cell_matches_loop(self):
+        fused = simulate_virtual_bitmap_estimates(
+            2_048, 0.05, 40_000, 25, np.random.default_rng(17)
+        )
+        rng = np.random.default_rng(17)
+        sampled = rng.binomial(
+            np.full(25, 40_000, dtype=np.int64), 0.05
+        )
+        occupied = loop_occupancy(2_048, sampled, rng)
+        loop = (
+            np.asarray(linear_counting_estimate(2_048, occupied), dtype=float)
+            / 0.05
+        )
+        np.testing.assert_array_equal(fused, loop)
+
+    def test_register_maxima_matches_loop(self):
+        fused = simulate_register_maxima(256, 5_000, 40, np.random.default_rng(13))
+        loop = loop_register_maxima(256, 5_000, 40, np.random.default_rng(13))
+        np.testing.assert_array_equal(fused, loop)
+
+    def test_mr_decoder_matches_scalar(self):
+        sizes = [64, 64, 128]
+        rng = np.random.default_rng(23)
+        occupancies = np.stack(
+            [rng.integers(0, size + 1, size=200) for size in sizes], axis=1
+        )
+        vectorised = mr_bitmap_estimate_array(sizes, occupancies)
+        scalar = np.array(
+            [mr_bitmap_estimate(sizes, list(row)) for row in occupancies]
+        )
+        np.testing.assert_array_equal(vectorised, scalar)
+
+    def test_row_searchsorted_matches_per_row_loop(self):
+        rng = np.random.default_rng(31)
+        matrix = np.sort(
+            rng.integers(1, 1_000_000, size=(50, 200)).astype(np.float64), axis=1
+        )
+        targets = rng.integers(0, 1_100_000, size=(50, 7)).astype(np.float64)
+        fused = row_searchsorted_right(matrix, targets)
+        loop = np.vstack(
+            [
+                np.searchsorted(matrix[row], targets[row], side="right")
+                for row in range(matrix.shape[0])
+            ]
+        )
+        np.testing.assert_array_equal(fused, loop)
+
+
+# --------------------------------------------------------------------------- #
+# statistical paths (draw order legitimately changed)
+# --------------------------------------------------------------------------- #
+
+
+class TestStatisticalEquivalence:
+    def test_occupancy_trajectory_matches_multinomial_law(self, rng):
+        num_buckets, items, replicates = 512, 700, 6_000
+        trajectory = simulate_occupancy_sweep(
+            num_buckets, np.full((replicates, 1), items), rng
+        )[:, 0]
+        direct = simulate_occupancy(
+            num_buckets, np.full(replicates, items), rng
+        )
+        expected = num_buckets * (1.0 - (1.0 - 1.0 / num_buckets) ** items)
+        assert float(trajectory.mean()) == pytest.approx(expected, rel=0.01)
+        assert float(trajectory.mean()) == pytest.approx(
+            float(direct.mean()), rel=0.01
+        )
+        assert float(trajectory.std()) == pytest.approx(
+            float(direct.std()), rel=0.15
+        )
+
+    def test_occupancy_trajectory_monotone_within_replicate(self, rng):
+        counts = np.tile(np.array([10, 100, 1_000, 10_000]), (50, 1))
+        occupied = simulate_occupancy_sweep(256, counts, rng)
+        assert np.all(np.diff(occupied, axis=1) >= 0)
+        assert occupied.max() <= 256
+
+    def test_linear_counting_sweep_matches_cell_law(self, rng):
+        truth, bits, replicates = 400, 1_024, 4_000
+        sweep = simulate_linear_counting_sweep(
+            bits, np.array([truth]), replicates, rng
+        )[:, 0]
+        cell = simulate_linear_counting_estimates(bits, truth, replicates, rng)
+        assert float(sweep.mean()) == pytest.approx(float(cell.mean()), rel=0.02)
+        assert rrmse(sweep, truth) == pytest.approx(rrmse(cell, truth), rel=0.2)
+
+    def test_virtual_bitmap_sweep_matches_cell_law(self, rng):
+        truth, bits, rate, replicates = 40_000, 2_048, 0.05, 2_000
+        sweep = simulate_virtual_bitmap_sweep(
+            bits, rate, np.array([truth]), replicates, rng
+        )[:, 0]
+        cell = simulate_virtual_bitmap_estimates(
+            bits, rate, truth, replicates, rng
+        )
+        assert float(sweep.mean()) == pytest.approx(float(cell.mean()), rel=0.02)
+        assert rrmse(sweep, truth) == pytest.approx(rrmse(cell, truth), rel=0.2)
+
+    def test_mr_bitmap_vectorised_matches_loop(self, rng):
+        sizes = [128, 128, 256]
+        truth, replicates = 800, 2_500
+        fused = simulate_mr_bitmap_estimates(sizes, truth, replicates, rng)
+        loop = loop_mr_bitmap_estimates(sizes, truth, replicates, rng)
+        assert float(fused.mean()) == pytest.approx(float(loop.mean()), rel=0.03)
+        assert rrmse(fused, truth) == pytest.approx(rrmse(loop, truth), rel=0.25)
+
+    def test_mr_bitmap_sweep_matches_loop(self, rng):
+        sizes = [128, 128, 256]
+        truth, replicates = 800, 2_500
+        sweep = simulate_mr_bitmap_sweep(
+            sizes, np.array([200, truth]), replicates, rng
+        )
+        loop = loop_mr_bitmap_estimates(sizes, truth, replicates, rng)
+        assert float(sweep[:, 1].mean()) == pytest.approx(
+            float(loop.mean()), rel=0.03
+        )
+        assert rrmse(sweep[:, 1], truth) == pytest.approx(
+            rrmse(loop, truth), rel=0.25
+        )
+
+    def test_register_family_sweep_matches_per_cell_law(self, rng):
+        registers, truth, replicates = 256, 10_000, 3_000
+        family = simulate_register_family_sweep(
+            registers, np.array([1_000, truth]), replicates, rng
+        )
+        hll_cell = simulate_hyperloglog_estimates(registers, truth, replicates, rng)
+        ll_cell = simulate_loglog_estimates(registers, truth, replicates, rng)
+        assert float(family["hyperloglog"][:, 1].mean()) == pytest.approx(
+            float(hll_cell.mean()), rel=0.02
+        )
+        assert rrmse(family["hyperloglog"][:, 1], truth) == pytest.approx(
+            rrmse(hll_cell, truth), rel=0.2
+        )
+        assert float(family["loglog"][:, 1].mean()) == pytest.approx(
+            float(ll_cell.mean()), rel=0.02
+        )
+        assert rrmse(family["loglog"][:, 1], truth) == pytest.approx(
+            rrmse(ll_cell, truth), rel=0.2
+        )
+
+    def test_register_family_shares_one_register_state(self, rng):
+        """Both family estimates must decode the *same* simulated registers,
+        so their replicate-wise errors are strongly positively correlated --
+        unlike independently simulated sketches, whose correlation is ~0."""
+        family = simulate_register_family_sweep(
+            64, np.array([5_000]), 400, rng
+        )
+        shared = float(
+            np.corrcoef(family["hyperloglog"][:, 0], family["loglog"][:, 0])[0, 1]
+        )
+        independent = float(
+            np.corrcoef(
+                simulate_hyperloglog_estimates(64, 5_000, 400, rng),
+                simulate_loglog_estimates(64, 5_000, 400, rng),
+            )[0, 1]
+        )
+        assert shared > 0.5
+        assert abs(independent) < 0.3
+        assert shared > abs(independent) + 0.3
+
+    def test_sweep_grid_order_is_restored(self, rng):
+        """Unsorted cardinality grids come back in caller order."""
+        cards = np.array([10_000, 100, 1_000])
+        sweep = simulate_mr_bitmap_sweep([128, 128, 256], cards, 300, rng)
+        medians = np.median(sweep, axis=0)
+        assert medians[1] < medians[2] < medians[0]
+
+    def test_unknown_family_algorithm_rejected(self, rng):
+        with pytest.raises(ValueError):
+            simulate_register_family_sweep(
+                64, np.array([100]), 10, rng, algorithms=("fm",)
+            )
+
+
+# --------------------------------------------------------------------------- #
+# cache correctness
+# --------------------------------------------------------------------------- #
+
+
+class TestCacheCorrectness:
+    def test_memoized_design_equals_fresh(self):
+        cached = SBitmapDesign.from_memory(512, 20_000)
+        fresh = SBitmapDesign(
+            num_bits=512,
+            n_max=20_000,
+            precision=solve_precision_constant(512, 20_000),
+        )
+        assert cached == fresh
+        np.testing.assert_array_equal(cached.fill_rates(), fresh.fill_rates())
+        np.testing.assert_array_equal(
+            cached.sampling_rates(), fresh.sampling_rates()
+        )
+        np.testing.assert_array_equal(
+            cached.expected_fill_times(), fresh.expected_fill_times()
+        )
+
+    def test_from_memory_returns_shared_instance(self):
+        assert SBitmapDesign.from_memory(512, 20_000) is SBitmapDesign.from_memory(
+            512, 20_000
+        )
+        assert _design_from_memory_cached.cache_info().hits > 0
+
+    def test_from_error_equals_fresh_construction(self):
+        cached = SBitmapDesign.from_error(100_000, 0.03)
+        assert cached is SBitmapDesign.from_error(100_000, 0.03)
+        fresh = SBitmapDesign(
+            num_bits=cached.num_bits,
+            n_max=100_000,
+            precision=solve_precision_constant(cached.num_bits, 100_000),
+        )
+        assert cached == fresh
+        assert cached.rrmse <= 0.03 * 1.01
+
+    def test_rate_tables_are_read_only_and_shared(self):
+        design = SBitmapDesign.from_memory(512, 20_000)
+        table = design.fill_rates()
+        assert table.flags.writeable is False
+        assert design.fill_rates() is table
+        with pytest.raises(ValueError):
+            table[1] = 0.5
+
+    def test_markov_chain_factories(self):
+        chain = markov_chain_from_memory(512, 20_000)
+        assert chain is markov_chain_from_memory(512, 20_000)
+        assert chain.design is SBitmapDesign.from_memory(512, 20_000)
+        fresh = SBitmapMarkovChain(SBitmapDesign.from_memory(512, 20_000))
+        np.testing.assert_array_equal(chain.fill_rates(), fresh.fill_rates())
+        error_chain = markov_chain_from_error(20_000, 0.05)
+        assert error_chain is markov_chain_from_error(20_000, 0.05)
+        assert error_chain.design.rrmse <= 0.05 * 1.01
+
+    def test_subclass_construction_bypasses_cache(self):
+        class CustomDesign(SBitmapDesign):
+            pass
+
+        custom = CustomDesign.from_memory(512, 20_000)
+        assert type(custom) is CustomDesign
+        assert custom is not SBitmapDesign.from_memory(512, 20_000)
