@@ -1,0 +1,60 @@
+"""Fleet-matrix benchmarks and the ``BENCH_fleet.json`` artifact.
+
+Wraps :mod:`run_bench_fleet` the same way :mod:`bench_shards` wraps
+:mod:`run_bench_shards`: per-backend micro-benchmarks on a reduced workload
+plus one artifact-emitting pass at the tracked scale (600 links, 2M
+records), so every benchmark run refreshes the committed fleet speedups.
+
+Run with::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_fleet.py
+
+Correctness -- matrix estimates bit-identical to a loop of standalone
+per-link sketches -- is asserted by ``run_suite`` itself on every round.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+import run_bench_fleet
+from repro.fleet import create_matrix
+
+NUM_LINKS = 60
+TOTAL_RECORDS = 120_000
+MEMORY_BITS = run_bench_fleet.PAPER_MEMORY_BITS
+N_MAX = run_bench_fleet.PAPER_N_MAX
+
+
+@pytest.fixture(scope="module")
+def workload() -> tuple[np.ndarray, list[tuple[np.ndarray, np.ndarray]]]:
+    return run_bench_fleet.build_workload(
+        num_links=NUM_LINKS, total_records=TOTAL_RECORDS, seed=7
+    )
+
+
+@pytest.mark.parametrize("algorithm", run_bench_fleet.DEFAULT_ALGORITHMS)
+def test_matrix_ingestion(benchmark, workload, algorithm):
+    """Grouped matrix ingestion of the interleaved multi-link stream."""
+    counts, chunks = workload
+
+    def run() -> np.ndarray:
+        matrix = create_matrix(algorithm, counts.size, MEMORY_BITS, N_MAX, seed=7)
+        for group_ids, keys in chunks:
+            matrix.update_grouped(group_ids, keys)
+        return matrix.estimates()
+
+    estimates = benchmark(run)
+    errors = np.abs(estimates / counts - 1.0)
+    assert float(np.median(errors)) < 0.25
+    benchmark.extra_info["links"] = NUM_LINKS
+    benchmark.extra_info["records"] = int(sum(g.size for g, _ in chunks))
+
+
+def test_emit_fleet_artifact(benchmark):
+    """Refresh ``BENCH_fleet.json`` at the full tracked scale (600 links, 2M)."""
+    payload = benchmark.pedantic(run_bench_fleet.run_suite, rounds=1, iterations=1)
+    run_bench_fleet.write_artifact(payload, run_bench_fleet.DEFAULT_ARTIFACT)
+    for algorithm, row in payload["results"].items():
+        benchmark.extra_info[algorithm] = round(row["speedup_vs_object_loop"], 1)

@@ -1,0 +1,271 @@
+"""Fleet suite: multi-key matrix ingestion vs a per-sketch object loop.
+
+Measures wall-clock records/sec of the 600-link backbone scenario (Section
+7.2): the interleaved multi-link record stream is ingested once by a
+:class:`repro.fleet.SketchMatrix` (one ``update_grouped`` call per chunk)
+and once by the pre-fleet alternatives --
+
+* ``object_loop``  -- a dict of standalone per-link sketches updated one
+  record at a time (the only way the repo could model a fleet before the
+  matrix subsystem existed), and
+* ``object_batch`` -- the same dict of sketches, but each chunk split into
+  per-link slivers fed to ``update_batch`` (the best a per-object fleet can
+  do: ~600 small vectorised calls per chunk).
+
+All three paths hash identically (standalone sketches get the spawned
+per-row families the matrix uses), so their per-link estimates are
+**bit-identical** -- asserted on every run; the artifact records only
+wall-clock differences.  Results land in ``BENCH_fleet.json`` so fleet
+speedups are committed facts, not prose claims.
+
+The workload is the Figure 7 backbone snapshot with its per-link counts
+rescaled to a fixed record budget (default 2M records across 600 links,
+spanning the same four orders of magnitude of link sizes), every sketch at
+the paper's Section 7.2 configuration (m = 7200 bits, N = 1.5e6).
+
+Run with::
+
+    PYTHONPATH=src python benchmarks/run_bench_fleet.py                 # 2M records
+    PYTHONPATH=src python benchmarks/run_bench_fleet.py --records 200000 --links 60
+
+The module is import-safe (no work at import time) so the tier-1 test-suite
+smoke-invokes :func:`run_suite` at a tiny scale.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+if str(REPO_ROOT / "src") not in sys.path:
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+
+import numpy as np
+
+from repro import __version__
+from repro.fleet import create_matrix
+from repro.hashing.family import MixerHashFamily
+from repro.sketches.base import create_sketch
+from repro.streams.network import (
+    BackboneSnapshotGenerator,
+    grouped_flow_key_chunks,
+)
+
+#: Algorithms tracked by the artifact: the paper's sketch and the two
+#: baselines it shares Figure 8 with that have matrix backends.
+DEFAULT_ALGORITHMS = ("sbitmap", "hyperloglog", "linear_counting")
+
+#: Paper configuration of Section 7.2 (Figure 8).
+PAPER_MEMORY_BITS = 7_200
+PAPER_N_MAX = 1_500_000
+
+DEFAULT_ARTIFACT = REPO_ROOT / "BENCH_fleet.json"
+
+
+def build_workload(
+    num_links: int = 600,
+    total_records: int = 2_000_000,
+    mean_packets_per_flow: float = 3.0,
+    chunk_size: int = 1 << 16,
+    seed: int = 7,
+) -> tuple[np.ndarray, list[tuple[np.ndarray, np.ndarray]]]:
+    """Materialise the grouped backbone workload once, shared by every path.
+
+    The snapshot's per-link flow counts are rescaled so the duplicated
+    record stream lands near ``total_records`` (shape preserved: the same
+    heavy-tailed spread of link sizes as Figure 7).  Returns
+    ``(per-link flow counts, list of (group_ids, keys) chunks)``.
+    """
+    generator = BackboneSnapshotGenerator(num_links=num_links, seed=seed)
+    counts = generator.true_counts().astype(np.float64)
+    target_flows = max(1.0, total_records / mean_packets_per_flow)
+    counts = np.maximum(1, np.round(counts * target_flows / counts.sum()))
+    counts = counts.astype(np.int64)
+    chunks = [
+        (group_ids.copy(), keys.copy())
+        for group_ids, keys in grouped_flow_key_chunks(
+            counts,
+            seed_or_rng=seed * 1_000_003 + 9_176,
+            mean_packets_per_flow=mean_packets_per_flow,
+            chunk_size=chunk_size,
+        )
+    ]
+    return counts, chunks
+
+
+def _build_row_sketches(
+    algorithm: str, num_links: int, memory_bits: int, n_max: int, seed: int
+) -> list:
+    """One standalone sketch per link, hashing exactly like the matrix rows."""
+    base = MixerHashFamily(seed)
+    sketches = []
+    for link in range(num_links):
+        sketch = create_sketch(algorithm, memory_bits, n_max, seed=seed)
+        sketch._hash = base.spawn(link)
+        sketches.append(sketch)
+    return sketches
+
+
+def run_suite(
+    algorithms: tuple[str, ...] = DEFAULT_ALGORITHMS,
+    num_links: int = 600,
+    total_records: int = 2_000_000,
+    memory_bits: int = PAPER_MEMORY_BITS,
+    n_max: int = PAPER_N_MAX,
+    mean_packets_per_flow: float = 3.0,
+    chunk_size: int = 1 << 16,
+    seed: int = 7,
+) -> dict:
+    """Measure matrix vs per-sketch-object fleet ingestion throughput.
+
+    Every path consumes the same pre-materialised grouped chunks, isolating
+    ingestion cost from generation, and every path's per-link estimates are
+    asserted bit-identical before any timing is recorded in the payload.
+    """
+    counts, chunks = build_workload(
+        num_links=num_links,
+        total_records=total_records,
+        mean_packets_per_flow=mean_packets_per_flow,
+        chunk_size=chunk_size,
+        seed=seed,
+    )
+    num_records = int(sum(group_ids.size for group_ids, _ in chunks))
+    results: dict[str, dict] = {}
+    for algorithm in algorithms:
+        # --- matrix backend: one update_grouped call per chunk ---------- #
+        matrix = create_matrix(algorithm, counts.size, memory_bits, n_max, seed=seed)
+        start = time.perf_counter()
+        for group_ids, keys in chunks:
+            matrix.update_grouped(group_ids, keys)
+        matrix_seconds = time.perf_counter() - start
+        matrix_estimates = np.asarray(matrix.estimates(), dtype=float)
+
+        # --- object loop: per-record add() into a dict of sketches ------ #
+        sketches = _build_row_sketches(
+            algorithm, counts.size, memory_bits, n_max, seed
+        )
+        start = time.perf_counter()
+        for group_ids, keys in chunks:
+            for group, key in zip(group_ids.tolist(), keys.tolist()):
+                sketches[group].add(key)
+        loop_seconds = time.perf_counter() - start
+        loop_estimates = np.array([sketch.estimate() for sketch in sketches])
+
+        # --- object batch: per-link update_batch slivers per chunk ------ #
+        sketches = _build_row_sketches(
+            algorithm, counts.size, memory_bits, n_max, seed
+        )
+        start = time.perf_counter()
+        for group_ids, keys in chunks:
+            for group in np.unique(group_ids):
+                sketches[group].update_batch(keys[group_ids == group])
+        batch_seconds = time.perf_counter() - start
+        batch_estimates = np.array([sketch.estimate() for sketch in sketches])
+
+        if not np.array_equal(matrix_estimates, loop_estimates):
+            raise AssertionError(
+                f"{algorithm}: matrix estimates diverge from the object loop"
+            )
+        if not np.array_equal(matrix_estimates, batch_estimates):
+            raise AssertionError(
+                f"{algorithm}: matrix estimates diverge from the object batch loop"
+            )
+        errors = matrix_estimates / counts - 1.0
+        results[algorithm] = {
+            "matrix": {
+                "seconds": matrix_seconds,
+                "records_per_sec": num_records / matrix_seconds,
+            },
+            "object_loop": {
+                "seconds": loop_seconds,
+                "records_per_sec": num_records / loop_seconds,
+            },
+            "object_batch": {
+                "seconds": batch_seconds,
+                "records_per_sec": num_records / batch_seconds,
+            },
+            "speedup_vs_object_loop": loop_seconds / matrix_seconds,
+            "speedup_vs_object_batch": batch_seconds / matrix_seconds,
+            "estimates_bit_identical": True,
+            "median_abs_relative_error": float(np.median(np.abs(errors))),
+            "max_abs_relative_error": float(np.max(np.abs(errors))),
+        }
+    return {
+        "suite": "fleet_matrix",
+        "version": __version__,
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "cpu_count": os.cpu_count(),
+        "config": {
+            "num_links": int(counts.size),
+            "total_records": total_records,
+            "num_records": num_records,
+            "num_flows": int(counts.sum()),
+            "memory_bits": memory_bits,
+            "n_max": n_max,
+            "mean_packets_per_flow": mean_packets_per_flow,
+            "chunk_size": chunk_size,
+            "seed": seed,
+        },
+        "results": results,
+    }
+
+
+def write_artifact(payload: dict, output: Path | str = DEFAULT_ARTIFACT) -> Path:
+    """Write the suite payload as pretty-printed JSON and return the path."""
+    output = Path(output)
+    output.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return output
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--links", type=int, default=600)
+    parser.add_argument("--records", type=int, default=2_000_000)
+    parser.add_argument("--memory-bits", type=int, default=PAPER_MEMORY_BITS)
+    parser.add_argument("--n-max", type=int, default=PAPER_N_MAX)
+    parser.add_argument("--mean-packets", type=float, default=3.0)
+    parser.add_argument("--chunk-size", type=int, default=1 << 16)
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument(
+        "--algorithms",
+        nargs="+",
+        default=list(DEFAULT_ALGORITHMS),
+        help=f"default: {' '.join(DEFAULT_ALGORITHMS)}",
+    )
+    parser.add_argument("--output", type=Path, default=DEFAULT_ARTIFACT)
+    args = parser.parse_args(argv)
+
+    payload = run_suite(
+        algorithms=tuple(args.algorithms),
+        num_links=args.links,
+        total_records=args.records,
+        memory_bits=args.memory_bits,
+        n_max=args.n_max,
+        mean_packets_per_flow=args.mean_packets,
+        chunk_size=args.chunk_size,
+        seed=args.seed,
+    )
+    path = write_artifact(payload, args.output)
+    config = payload["config"]
+    print(
+        f"wrote {path} ({config['num_links']} links, "
+        f"{config['num_records']:,} records)"
+    )
+    for name, row in payload["results"].items():
+        print(
+            f"{name}: matrix {row['matrix']['records_per_sec']:>12,.0f} rec/s"
+            f"  vs object loop {row['speedup_vs_object_loop']:>6.1f}x"
+            f"  vs object batch {row['speedup_vs_object_batch']:>6.1f}x"
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -53,6 +53,20 @@ the versioned JSON codec of :mod:`repro.serialize` (the CLI's ``export`` /
 ``import-merge`` commands); ``benchmarks/run_bench_shards.py`` tracks the
 per-shard scaling numbers in ``BENCH_shards.json``.
 
+Multi-key fleets
+----------------
+The paper's Section 7 deployment counts *many keys at once* (600 backbone
+links, one S-bitmap each).  :mod:`repro.fleet` stores a whole fleet of
+per-key sketches in one NumPy state block -- ``SBitmapMatrix``,
+``HyperLogLogMatrix``, ``LogLogMatrix``, ``LinearCountingMatrix``,
+``VirtualBitmapMatrix`` -- ingesting grouped ``(group_ids, items)`` chunks
+with one vectorised hash pass and decoding every per-key estimate in one
+array pass, bit-identical per row to standalone sketches.
+:class:`repro.pipeline.FleetCounter` adds hash-partitioned sharding with
+merge-at-query per group; the CLI's ``count --group-by COL`` exposes it
+over CSV flow logs; ``benchmarks/run_bench_fleet.py`` tracks matrix-vs-
+object-loop throughput in ``BENCH_fleet.json``.
+
 Package layout
 --------------
 * :mod:`repro.core` -- the S-bitmap itself (sketch, dimensioning, estimator,
@@ -66,7 +80,10 @@ Package layout
   large-scale accuracy experiments,
 * :mod:`repro.analysis` -- metrics, the sweep engine, memory models,
 * :mod:`repro.experiments` -- one driver per paper table/figure,
-* :mod:`repro.pipeline` -- sharded parallel ingestion with merge-at-query,
+* :mod:`repro.pipeline` -- sharded parallel ingestion with merge-at-query
+  (single-key and multi-key fleets),
+* :mod:`repro.fleet` -- multi-key sketch matrices (one NumPy-backed fleet
+  of per-key sketches),
 * :mod:`repro.serialize` -- the versioned sketch snapshot codec,
 * :mod:`repro.cli` -- ``sbitmap`` command-line interface.
 """
@@ -78,7 +95,7 @@ from repro.core import (
     SBitmapMarkovChain,
     theory,
 )
-from repro.pipeline import ShardedCounter
+from repro.pipeline import FleetCounter, ShardedCounter
 from repro.sketches import (
     AdaptiveSampling,
     DistinctCounter,
@@ -105,6 +122,7 @@ __all__ = [
     "DistinctSampling",
     "ExactCounter",
     "FlajoletMartin",
+    "FleetCounter",
     "HyperLogLog",
     "KMinimumValues",
     "LinearCounting",

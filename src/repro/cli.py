@@ -8,7 +8,13 @@ Commands
                   through the chunked ``update_batch`` fast path; with
                   ``--shards N`` the stream is hash-partitioned across a
                   sharded counter and ``--jobs J`` ingests the shards on a
-                  worker pool (merge-at-query combines them).
+                  worker pool (merge-at-query combines them).  With
+                  ``--group-by COL`` the input is a CSV flow log and one
+                  estimate is produced *per value of that column* (per link,
+                  per minute, ...), ingested through the multi-key fleet
+                  subsystem of :mod:`repro.fleet`; ``--key-columns`` picks
+                  the columns forming the item identity (default: every
+                  other column).
 ``export``        Count a file and write the sketch snapshot (the versioned
                   JSON codec of :mod:`repro.serialize`) to disk -- the
                   per-link/per-site summary of the paper's Section 7 story.
@@ -81,6 +87,20 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=1,
         help="worker processes for shard ingestion (requires --shards > 1)",
+    )
+    count.add_argument(
+        "--group-by",
+        default=None,
+        metavar="COL",
+        help="treat the input as a CSV flow log and report one estimate per "
+        "value of this column (multi-key fleet ingestion)",
+    )
+    count.add_argument(
+        "--key-columns",
+        default=None,
+        metavar="A,B,...",
+        help="comma-separated CSV columns forming the item identity "
+        "(default with --group-by: every column except the group column)",
     )
 
     export = subparsers.add_parser(
@@ -207,7 +227,109 @@ def _ingest_counter(args: argparse.Namespace):
     return _ingest_single_sketch(args, exact), exact
 
 
+def _command_count_grouped(args: argparse.Namespace) -> int:
+    """Per-key estimates from a CSV flow log via the fleet subsystem."""
+    import contextlib
+    import csv
+
+    from repro.fleet import available_matrices
+    from repro.pipeline import FleetCounter
+
+    if args.jobs > 1:
+        raise SystemExit("--jobs is not supported with --group-by")
+    if args.shards < 1:
+        raise SystemExit(f"--shards must be positive, got {args.shards}")
+    backends = list(available_matrices())
+    if args.algorithm.lower() not in backends:
+        raise SystemExit(
+            f"--group-by ingests through the multi-key fleet backends, and "
+            f"{args.algorithm!r} has none; available: {', '.join(backends)}"
+        )
+    _check_chunk_size(args)
+    counter = FleetCounter(
+        args.algorithm,
+        num_keys=0,
+        memory_bits=args.memory_bits,
+        n_max=args.n_max,
+        num_shards=args.shards,
+        seed=args.seed,
+    )
+    group_index: dict[str, int] = {}
+    exact: dict[str, ExactCounter] = {}
+    with contextlib.ExitStack() as stack:
+        if args.path == "-":
+            handle = sys.stdin
+        else:
+            handle = stack.enter_context(
+                open(args.path, "r", newline="", encoding="utf-8")
+            )
+        reader = csv.DictReader(handle)
+        fieldnames = reader.fieldnames or []
+        if args.group_by not in fieldnames:
+            raise SystemExit(
+                f"--group-by column {args.group_by!r} not found in the CSV "
+                f"header; available columns: {fieldnames}"
+            )
+        if args.key_columns is not None:
+            key_columns = tuple(
+                column.strip() for column in args.key_columns.split(",") if column.strip()
+            )
+            missing = [column for column in key_columns if column not in fieldnames]
+            if missing:
+                raise SystemExit(
+                    f"--key-columns {missing} not found in the CSV header; "
+                    f"available columns: {fieldnames}"
+                )
+        else:
+            key_columns = tuple(
+                column for column in fieldnames if column != args.group_by
+            )
+        if not key_columns:
+            raise SystemExit(
+                "no key columns left after removing the group column; "
+                "name them explicitly with --key-columns"
+            )
+        for rows in chunked(reader, args.chunk_size):
+            groups = []
+            keys = []
+            for row in rows:
+                label = row[args.group_by]
+                group = group_index.setdefault(label, len(group_index))
+                groups.append(group)
+                keys.append(tuple(row[column] for column in key_columns))
+            if len(group_index) > counter.num_keys:
+                counter.grow(len(group_index))
+            counter.update_grouped(groups, keys)
+            if args.exact:
+                for label, key in zip(
+                    (row[args.group_by] for row in rows), keys
+                ):
+                    exact.setdefault(label, ExactCounter()).add(key)
+    if not group_index:
+        print("input holds no data rows")
+        return 0
+    estimates = counter.estimates()
+    headers = ["group", "estimate"]
+    if args.exact:
+        headers += ["exact", "relative error (%)"]
+    table_rows: list[list[object]] = []
+    for label in sorted(group_index):
+        estimate = float(estimates[group_index[label]])
+        row: list[object] = [label, round(estimate, 1)]
+        if args.exact:
+            truth = exact[label].estimate()
+            row.append(int(truth))
+            row.append(
+                round(100 * (estimate / truth - 1), 2) if truth > 0 else "n/a"
+            )
+        table_rows.append(row)
+    print(format_table(headers, table_rows))
+    return 0
+
+
 def _command_count(args: argparse.Namespace) -> int:
+    if args.group_by is not None:
+        return _command_count_grouped(args)
     counter, exact = _ingest_counter(args)
     # One estimate() call: for sharded mergeable counters each call re-runs
     # the merge-at-query combine.

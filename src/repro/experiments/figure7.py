@@ -11,6 +11,15 @@ calibrated to those quantiles (see DESIGN.md).  The check here is that the
 synthetic snapshot's quantiles are of the same order of magnitude as the
 paper's at every level -- i.e. the workload spans the same four orders of
 magnitude of link sizes that motivates the scale-invariance requirement.
+
+With ``mode="fleet"`` the figure is re-driven through the multi-key
+subsystem: the interleaved record stream of all links is ingested by one
+:class:`~repro.fleet.SBitmapMatrix` at the paper's Section 7.2
+configuration (``m = 7200`` bits, ``N = 1.5e6``) and the histogram and
+quantiles are computed from the per-link *estimates* -- what an operator
+monitoring the fleet would actually plot.  The default ``mode="snapshot"``
+output is unchanged.  (Full-scale fleet runs ingest tens of millions of
+records; pass a scaled-down generator for quick looks.)
 """
 
 from __future__ import annotations
@@ -24,6 +33,9 @@ from repro.streams.network import BackboneSnapshotGenerator
 
 __all__ = ["Figure7Result", "run", "format_result"]
 
+PAPER_MEMORY_BITS = 7_200
+PAPER_N_MAX = 1_500_000
+
 
 @dataclass
 class Figure7Result:
@@ -35,6 +47,10 @@ class Figure7Result:
     quantile_levels: tuple[float, ...]
     quantiles: np.ndarray
     paper_quantiles: tuple[int, ...]
+    #: ``"snapshot"`` (true counts) or ``"fleet"`` (S-bitmap fleet estimates).
+    mode: str = "snapshot"
+    #: Per-link estimates when re-driven through the matrix backend.
+    estimated_counts: np.ndarray | None = None
 
     @property
     def num_links(self) -> int:
@@ -42,19 +58,52 @@ class Figure7Result:
         return int(self.flow_counts.size)
 
 
-def run(num_links: int = 600, seed: int = 0, num_bins: int = 24) -> Figure7Result:
-    """Generate the synthetic backbone snapshot and its Figure 7 summaries."""
-    generator = BackboneSnapshotGenerator(num_links=num_links, seed=seed)
+def run(
+    num_links: int = 600,
+    seed: int = 0,
+    num_bins: int = 24,
+    mode: str = "snapshot",
+    memory_bits: int = PAPER_MEMORY_BITS,
+    n_max: int = PAPER_N_MAX,
+    generator: BackboneSnapshotGenerator | None = None,
+) -> Figure7Result:
+    """Generate the synthetic backbone snapshot and its Figure 7 summaries.
+
+    ``mode="snapshot"`` (default) summarises the true per-link counts;
+    ``mode="fleet"`` streams every link's records through one S-bitmap
+    matrix and summarises the per-link estimates instead.  Pass an explicit
+    ``generator`` to drive a scaled-down snapshot (tests and demos).
+    """
+    if mode not in ("snapshot", "fleet"):
+        raise ValueError(f"mode must be 'snapshot' or 'fleet', got {mode!r}")
+    if generator is None:
+        generator = BackboneSnapshotGenerator(num_links=num_links, seed=seed)
     counts = generator.true_counts()
-    histogram_counts, histogram_edges = np.histogram(np.log2(counts), bins=num_bins)
+    estimated = None
+    summarised = counts
+    if mode == "fleet":
+        from repro.fleet import SBitmapMatrix
+
+        matrix = SBitmapMatrix.from_memory(
+            counts.size, memory_bits, n_max, seed=seed
+        )
+        for group_ids, keys in generator.grouped_chunks():
+            matrix.update_grouped(group_ids, keys)
+        estimated = matrix.estimates()
+        summarised = np.maximum(estimated, 1.0)
+    histogram_counts, histogram_edges = np.histogram(
+        np.log2(summarised), bins=num_bins
+    )
     levels = BackboneSnapshotGenerator.PAPER_QUANTILE_LEVELS
     return Figure7Result(
         flow_counts=counts,
         histogram_counts=histogram_counts,
         histogram_edges=histogram_edges,
         quantile_levels=levels,
-        quantiles=np.quantile(counts, levels),
+        quantiles=np.quantile(summarised, levels),
         paper_quantiles=BackboneSnapshotGenerator.PAPER_QUANTILE_VALUES,
+        mode=mode,
+        estimated_counts=estimated,
     )
 
 
@@ -77,8 +126,10 @@ def format_result(result: Figure7Result) -> str:
     quantiles = format_table(
         ["quantile", "synthetic snapshot", "paper"], quantile_rows
     )
+    suffix = " (S-bitmap fleet estimates)" if result.mode == "fleet" else ""
     return (
-        f"Figure 7 -- five-minute flow counts across {result.num_links} backbone links\n"
+        f"Figure 7 -- five-minute flow counts across {result.num_links} "
+        f"backbone links{suffix}\n"
         + histogram
         + "\n\nQuantiles (flows per link)\n"
         + quantiles

@@ -10,6 +10,15 @@ within ~8%), LogLog is the worst (off the plotted range), mr-bitmap sits in
 between, and S-bitmap has the fewest links beyond 3 design standard
 deviations (the paper reports zero such links for S-bitmap, one for
 HyperLogLog, two for mr-bitmap).
+
+``mode`` selects the estimation engine (see
+:func:`repro.experiments.trace_utils.estimate_each`): the default
+``"simulate"`` keeps the seed-for-seed output of earlier revisions, while
+``mode="fleet"`` drives every link through one multi-key
+:class:`~repro.fleet.SketchMatrix` per algorithm -- the 600-link deployment
+ingested end-to-end with grouped array chunks.  Note the full-scale
+snapshot holds tens of millions of flows; fleet mode at the default
+``num_links=600`` is an end-to-end run measured in minutes, not seconds.
 """
 
 from __future__ import annotations
@@ -61,7 +70,11 @@ def run(
     seed: int = 0,
     mode: str = "simulate",
 ) -> Figure8Result:
-    """Reproduce Figure 8 on the synthetic backbone snapshot."""
+    """Reproduce Figure 8 on the synthetic backbone snapshot.
+
+    ``mode="simulate"`` (default, fast), ``"stream"`` (one sketch per link)
+    or ``"fleet"`` (all links through one sketch matrix per algorithm).
+    """
     thresholds = DEFAULT_THRESHOLDS if thresholds is None else np.asarray(thresholds)
     precision = solve_precision_constant(memory_bits, n_max)
     snapshot = BackboneSnapshotGenerator(num_links=num_links, seed=seed)

@@ -2,10 +2,17 @@
 
 The trace experiments need *one* estimate per measurement interval (per
 minute, or per link) for each algorithm, rather than replicated estimates of
-one cardinality.  :func:`estimate_each` produces exactly that, either from
-the model-level simulators (default, fast) or by streaming synthetic flow
-records through the real sketches (``mode="stream"``, used by the
-integration tests and available for end-to-end runs).
+one cardinality.  :func:`estimate_each` produces exactly that, from one of
+three engines:
+
+* ``mode="simulate"`` (default) -- the model-level simulators, fast;
+* ``mode="stream"`` -- synthetic flow records through one real sketch per
+  interval (used by the integration tests);
+* ``mode="fleet"`` -- ALL intervals at once through a multi-key
+  :class:`~repro.fleet.SketchMatrix` fed the grouped-chunk emitter of
+  :mod:`repro.streams.network` -- the paper's per-link deployment driven
+  end-to-end through one shared NumPy state block.  Algorithms without a
+  matrix backend (mr-bitmap) fall back to the per-interval stream path.
 """
 
 from __future__ import annotations
@@ -66,6 +73,40 @@ def _simulate_each(
     raise ValueError(f"no trace simulator for algorithm {algorithm!r}")
 
 
+def _fleet_each(
+    algorithm: str,
+    memory_bits: int,
+    n_max: int,
+    counts: np.ndarray,
+    seed: int,
+    mean_packets_per_flow: float = 3.0,
+) -> np.ndarray:
+    """One estimate per interval via a single multi-key sketch matrix.
+
+    Every interval is a row of one :class:`~repro.fleet.SketchMatrix`; the
+    grouped-chunk emitter interleaves all intervals' flow records and the
+    matrix ingests them with one vectorised hash pass per chunk.  Rows hash
+    with spawned per-row families, so interval estimates stay independent
+    exactly like the per-interval sketches of the stream path.
+    """
+    from repro.fleet import available_matrices, create_matrix
+    from repro.streams.network import grouped_flow_key_chunks
+
+    if algorithm not in available_matrices():
+        # No matrix backend (e.g. mr_bitmap): per-interval streaming keeps
+        # the algorithm comparable in fleet-mode figures.
+        return _stream_each(algorithm, memory_bits, n_max, counts, seed)
+    matrix = create_matrix(algorithm, counts.size, memory_bits, n_max, seed=seed)
+    chunks = grouped_flow_key_chunks(
+        counts,
+        seed_or_rng=seed * 7_919 + 1,
+        mean_packets_per_flow=mean_packets_per_flow,
+    )
+    for group_ids, keys in chunks:
+        matrix.update_grouped(group_ids, keys)
+    return np.asarray(matrix.estimates(), dtype=float)
+
+
 def _stream_each(
     algorithm: str,
     memory_bits: int,
@@ -104,8 +145,9 @@ def estimate_each(
     seed:
         Seed of the simulation / hash functions.
     mode:
-        ``"simulate"`` (model-level, default) or ``"stream"`` (feed synthetic
-        flow records through the real sketch).
+        ``"simulate"`` (model-level, default), ``"stream"`` (feed synthetic
+        flow records through one real sketch per interval) or ``"fleet"``
+        (all intervals at once through a multi-key sketch matrix).
     """
     counts = np.asarray(counts, dtype=np.int64)
     if counts.ndim != 1 or counts.size == 0:
@@ -117,4 +159,8 @@ def estimate_each(
         return _simulate_each(algorithm, memory_bits, n_max, counts, rng)
     if mode == "stream":
         return _stream_each(algorithm, memory_bits, n_max, counts, seed)
-    raise ValueError(f"mode must be 'simulate' or 'stream', got {mode!r}")
+    if mode == "fleet":
+        return _fleet_each(algorithm, memory_bits, n_max, counts, seed)
+    raise ValueError(
+        f"mode must be 'simulate', 'stream' or 'fleet', got {mode!r}"
+    )

@@ -1,0 +1,73 @@
+"""Multi-key sketch matrices: one NumPy state block per fleet of sketches.
+
+The paper's Section 7 deployment monitors hundreds of keys at once (600
+backbone links, each with its own S-bitmap).  This package stores all
+per-key sketches of one algorithm in shared NumPy state and ingests grouped
+chunks -- ``(group_ids, items)`` pairs -- with one vectorised hash pass and
+one scatter, instead of splintering every chunk across hundreds of Python
+sketch objects:
+
+* :class:`~repro.fleet.base.SketchMatrix` -- the protocol (grouped
+  ingestion, one-pass decoding, per-row standalone extraction, growth,
+  snapshots),
+* :class:`~repro.fleet.sbitmap_matrix.SBitmapMatrix` -- packed bitmap plane
+  plus a shared cached rate table (the paper's sketch),
+* :class:`~repro.fleet.registers.HyperLogLogMatrix` /
+  :class:`~repro.fleet.registers.LogLogMatrix` -- one register plane decoded
+  in a single pass,
+* :class:`~repro.fleet.bitmaps.LinearCountingMatrix` /
+  :class:`~repro.fleet.bitmaps.VirtualBitmapMatrix` -- packed bitmap planes.
+
+Every row is bit-identical (state and estimate) to a standalone sketch with
+the spawned per-row hash family fed the same substream; the matrices are a
+storage/throughput optimisation, never a different algorithm.
+:class:`repro.pipeline.FleetCounter` adds hash-partitioned sharding with
+merge-at-query per group on top, and :mod:`repro.serialize` ships matrix
+snapshots in the versioned ``repro/fleet`` envelope.
+"""
+
+from repro.fleet.base import (
+    MatrixFactory,
+    SketchMatrix,
+    available_matrices,
+    create_matrix,
+    matrix_class,
+    matrix_from_state,
+    register_matrix,
+)
+from repro.fleet.bitmaps import LinearCountingMatrix, VirtualBitmapMatrix
+from repro.fleet.registers import HyperLogLogMatrix, LogLogMatrix
+from repro.fleet.sbitmap_matrix import SBitmapMatrix
+
+__all__ = [
+    "HyperLogLogMatrix",
+    "LinearCountingMatrix",
+    "LogLogMatrix",
+    "MatrixFactory",
+    "SBitmapMatrix",
+    "SketchMatrix",
+    "VirtualBitmapMatrix",
+    "available_matrices",
+    "create_matrix",
+    "matrix_class",
+    "matrix_from_state",
+    "register_matrix",
+]
+
+_REGISTERED = False
+
+
+def _register_default_matrices() -> None:
+    """Register the built-in matrix factories (idempotent)."""
+    global _REGISTERED
+    if _REGISTERED:
+        return
+    register_matrix("sbitmap", SBitmapMatrix.from_memory)
+    register_matrix("loglog", LogLogMatrix.from_memory)
+    register_matrix("hyperloglog", HyperLogLogMatrix.from_memory)
+    register_matrix("linear_counting", LinearCountingMatrix.from_memory)
+    register_matrix("virtual_bitmap", VirtualBitmapMatrix.from_memory)
+    _REGISTERED = True
+
+
+_register_default_matrices()

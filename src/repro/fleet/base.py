@@ -1,0 +1,378 @@
+"""Common interface and registry for multi-key sketch matrices.
+
+The paper's headline deployment (Section 7, Figures 7-8) is a *fleet* of
+counters: per-link distinct-flow counts on 600 backbone links, each link its
+own sketch.  Modelling that as hundreds of independent Python sketch objects
+updated one at a time wastes the vectorised ingestion machinery of
+:mod:`repro.hashing.arrays` -- every chunk of the interleaved record stream
+splinters into per-link slivers.  A :class:`SketchMatrix` instead keeps
+*all* per-key sketches in one shared NumPy state block:
+
+* ``update_grouped(group_ids, items)`` -- ingest a chunk of ``(group, item)``
+  pairs with ONE vectorised hash pass (per-row salt mixing via
+  :func:`~repro.hashing.arrays.grouped_hash64_array`, so each row sees an
+  independent hash stream) and one scatter into the rows,
+* ``estimates()`` -- all per-key estimates decoded in one array pass,
+* ``row_sketch(group)`` -- a standalone :class:`~repro.sketches.base.
+  DistinctCounter` carrying row ``group``'s exact state and hash family.
+
+The defining contract, enforced by the test-suite: every row is
+**bit-identical** (state and estimate) to a standalone sketch constructed
+with ``hash_family = MixerHashFamily(seed).spawn(row)`` and fed the same
+per-key substream in the same order.  The matrix is purely a storage and
+throughput optimisation -- never a different algorithm.
+
+Like :mod:`repro.sketches.base`, two registries support construction by
+name: matrix factories (``create_matrix``) and matrix classes
+(auto-populated via ``__init_subclass__``, used by the ``repro/fleet``
+serialization codec).
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Callable, Iterable, Iterator
+
+import numpy as np
+
+from repro.hashing.arrays import (
+    grouped_hash64_array,
+    keys_to_int_array,
+    mixer_seed_mix_array,
+    spawn_seed_array,
+)
+from repro.hashing.family import MixerHashFamily
+from repro.sketches.base import NotMergeableError
+
+__all__ = [
+    "SketchMatrix",
+    "MatrixFactory",
+    "available_matrices",
+    "create_matrix",
+    "matrix_class",
+    "matrix_from_state",
+    "register_matrix",
+]
+
+
+class SketchMatrix(abc.ABC):
+    """Abstract base of all multi-key sketch matrices.
+
+    Parameters
+    ----------
+    num_keys:
+        Number of rows (monitored keys / links); may be 0 and grown later
+        with :meth:`grow` (row hash streams depend only on the row index, so
+        appending rows never disturbs existing ones).
+    seed:
+        Base hash seed.  Row ``g`` hashes with the family
+        ``MixerHashFamily(seed, mixer).spawn(g)``, vectorised across the
+        whole matrix by the grouped helpers of :mod:`repro.hashing.arrays`.
+    mixer:
+        ``"splitmix64"`` (default) or ``"murmur"`` -- the mixer of the
+        per-row families.  Tabulation families are not supported by the
+        matrix backends (their per-row tables would defeat the single-pass
+        hash); use standalone sketches where tabulation hashing matters.
+    """
+
+    #: Registered algorithm name of the per-row sketch; subclasses override.
+    name: str = "abstract"
+
+    #: Whether two matrices with identical configuration merge row-wise.
+    mergeable: bool = False
+
+    def __init_subclass__(cls, **kwargs) -> None:
+        super().__init_subclass__(**kwargs)
+        name = cls.__dict__.get("name")
+        if isinstance(name, str) and name and name != "abstract":
+            key = name.lower()
+            existing = _CLASS_REGISTRY.get(key)
+            if existing is not None and (
+                existing.__module__,
+                existing.__qualname__,
+            ) != (cls.__module__, cls.__qualname__):
+                raise ValueError(
+                    f"matrix name {name!r} is already registered to "
+                    f"{existing.__module__}.{existing.__qualname__}"
+                )
+            _CLASS_REGISTRY[key] = cls
+
+    def __init__(
+        self, num_keys: int, seed: int = 0, mixer: str = "splitmix64"
+    ) -> None:
+        if num_keys < 0:
+            raise ValueError(f"num_keys must be non-negative, got {num_keys}")
+        if mixer not in ("splitmix64", "murmur"):
+            raise ValueError(f"unknown mixer {mixer!r}")
+        self.num_keys = int(num_keys)
+        self.seed = int(seed)
+        self.mixer = mixer
+        self._row_seeds = spawn_seed_array(self.seed, self.num_keys)
+        self._row_mixes = mixer_seed_mix_array(self._row_seeds)
+        self._items_seen = np.zeros(self.num_keys, dtype=np.int64)
+
+    # ------------------------------------------------------------------ #
+    # ingestion
+    # ------------------------------------------------------------------ #
+
+    def _hash_chunk(
+        self,
+        group_ids: "np.ndarray | Iterable[int]",
+        items: "np.ndarray | Iterable[object]",
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Validate a grouped chunk and hash it in one pass.
+
+        Returns ``(groups, values)``: the row indices as ``intp`` and the
+        64-bit hash of each item under its row's family.  Shared by every
+        backend's ``update_grouped``.
+        """
+        keys = keys_to_int_array(items)
+        groups = np.asarray(group_ids)
+        if groups.ndim != 1 or keys.ndim != 1 or groups.shape != keys.shape:
+            raise ValueError(
+                f"group_ids and items must be aligned 1-D sequences, got "
+                f"shapes {groups.shape} and {keys.shape}"
+            )
+        if groups.size == 0:
+            return groups.astype(np.intp), keys
+        if not np.issubdtype(groups.dtype, np.integer):
+            raise TypeError(f"group_ids must be integers, got dtype {groups.dtype}")
+        groups = groups.astype(np.intp)
+        low, high = int(groups.min()), int(groups.max())
+        if low < 0 or high >= self.num_keys:
+            raise IndexError(
+                f"group ids must lie in [0, {self.num_keys}), got range "
+                f"[{low}, {high}]"
+            )
+        values = grouped_hash64_array(keys, self._row_mixes[groups], self.mixer)
+        return groups, values
+
+    def _count_items(self, groups: np.ndarray) -> None:
+        """Accumulate per-row ``items_seen`` for one validated chunk."""
+        self._items_seen += np.bincount(groups, minlength=self.num_keys)
+
+    @abc.abstractmethod
+    def update_grouped(
+        self,
+        group_ids: "np.ndarray | Iterable[int]",
+        items: "np.ndarray | Iterable[object]",
+    ) -> None:
+        """Ingest a chunk of ``(group, item)`` pairs (duplicates allowed).
+
+        State after the call is bit-identical to feeding each group's
+        subsequence (in chunk order) to that row's standalone sketch.
+        """
+
+    def add(self, group: int, item: object) -> None:
+        """Scalar convenience: ingest one ``(group, item)`` observation."""
+        self.update_grouped(np.array([group], dtype=np.intp), [item])
+
+    # ------------------------------------------------------------------ #
+    # queries
+    # ------------------------------------------------------------------ #
+
+    @abc.abstractmethod
+    def estimates(self) -> np.ndarray:
+        """All per-key cardinality estimates, decoded in one array pass."""
+
+    def estimate(self, group: int) -> float:
+        """Estimate of one key (row); decodes via :meth:`estimates`."""
+        if not 0 <= group < self.num_keys:
+            raise IndexError(f"group {group} out of range [0, {self.num_keys})")
+        return float(self.estimates()[group])
+
+    @abc.abstractmethod
+    def memory_bits(self) -> int:
+        """Total summary memory across all rows (hash seeds not charged)."""
+
+    @abc.abstractmethod
+    def row_sketch(self, group: int):
+        """Standalone sketch carrying row ``group``'s state and hash family.
+
+        The returned :class:`~repro.sketches.base.DistinctCounter` answers
+        the same ``estimate()`` as the row and evolves identically when fed
+        the remainder of the row's substream -- the bridge the equivalence
+        tests (and per-row export) rely on.
+        """
+
+    def row_hash_family(self, group: int) -> MixerHashFamily:
+        """The hash family row ``group`` hashes with (``base.spawn(group)``)."""
+        if not 0 <= group < self.num_keys:
+            raise IndexError(f"group {group} out of range [0, {self.num_keys})")
+        return MixerHashFamily(seed=int(self._row_seeds[group]), mixer=self.mixer)
+
+    @property
+    def items_seen(self) -> np.ndarray:
+        """Per-row count of observations ingested (duplicates included)."""
+        view = self._items_seen.view()
+        view.flags.writeable = False
+        return view
+
+    # ------------------------------------------------------------------ #
+    # growth, merge, copy
+    # ------------------------------------------------------------------ #
+
+    def grow(self, num_keys: int) -> None:
+        """Extend the matrix to ``num_keys`` rows (new rows start empty).
+
+        Row hash streams are a function of the row index alone, so growth
+        never disturbs existing rows -- the CLI's ``--group-by`` ingestion
+        relies on this to discover groups on the fly.
+        """
+        if num_keys < self.num_keys:
+            raise ValueError(
+                f"cannot shrink a matrix from {self.num_keys} to {num_keys} rows"
+            )
+        if num_keys == self.num_keys:
+            return
+        extra = num_keys - self.num_keys
+        self._grow_rows(extra)
+        self._items_seen = np.concatenate(
+            [self._items_seen, np.zeros(extra, dtype=np.int64)]
+        )
+        self.num_keys = int(num_keys)
+        self._row_seeds = spawn_seed_array(self.seed, self.num_keys)
+        self._row_mixes = mixer_seed_mix_array(self._row_seeds)
+
+    @abc.abstractmethod
+    def _grow_rows(self, extra: int) -> None:
+        """Append ``extra`` zero-state rows to the backend's state arrays."""
+
+    def merge(self, other: "SketchMatrix") -> "SketchMatrix":
+        """Row-wise merge of ``other`` into ``self`` (mergeable backends only)."""
+        raise NotMergeableError(
+            f"{type(self).__name__} rows cannot be merged; combine per-row "
+            "estimates additively over disjoint streams instead"
+        )
+
+    def _check_merge_compatible(self, other: "SketchMatrix") -> None:
+        """Shared guards of every ``merge``: same class, rows and hashing."""
+        if type(other) is not type(self):
+            raise TypeError(
+                f"can only merge {type(self).__name__} with {type(self).__name__}"
+            )
+        if (other.num_keys, other.seed, other.mixer) != (
+            self.num_keys,
+            self.seed,
+            self.mixer,
+        ):
+            raise ValueError(
+                "cannot merge matrices with different row counts or hash "
+                "configurations"
+            )
+
+    def copy(self) -> "SketchMatrix":
+        """Deep copy of the matrix (state and configuration)."""
+        import copy as _copy
+
+        return _copy.deepcopy(self)
+
+    # ------------------------------------------------------------------ #
+    # serialization protocol (wrapped by the repro/fleet codec)
+    # ------------------------------------------------------------------ #
+
+    def state_dict(self) -> dict:
+        """JSON-serialisable snapshot of configuration and state.
+
+        Must contain a ``"name"`` key equal to the registered matrix name;
+        :meth:`from_state_dict` of the same class inverts it losslessly.
+        :mod:`repro.serialize` wraps the snapshot in the versioned
+        ``repro/fleet`` envelope for files and the wire.
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} does not implement state_dict()"
+        )
+
+    @classmethod
+    def from_state_dict(cls, state: dict) -> "SketchMatrix":
+        """Rebuild a matrix from :meth:`state_dict` output."""
+        raise NotImplementedError(f"{cls.__name__} does not implement from_state_dict()")
+
+    def _base_state(self) -> dict:
+        """The configuration keys every backend snapshot shares."""
+        return {
+            "name": self.name,
+            "num_keys": self.num_keys,
+            "seed": self.seed,
+            "mixer": self.mixer,
+            "items_seen": self._items_seen.tolist(),
+        }
+
+    def _restore_items_seen(self, state: dict) -> None:
+        items_seen = np.asarray(state.get("items_seen", []), dtype=np.int64)
+        if items_seen.size == 0:
+            items_seen = np.zeros(self.num_keys, dtype=np.int64)
+        if items_seen.shape != (self.num_keys,):
+            raise ValueError(
+                f"items_seen holds {items_seen.size} rows but "
+                f"{self.num_keys} were expected"
+            )
+        self._items_seen = items_seen
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"{type(self).__name__}(num_keys={self.num_keys}, "
+            f"memory_bits={self.memory_bits()})"
+        )
+
+
+#: Signature of a matrix factory: ``factory(num_keys, memory_bits, n_max,
+#: seed, mixer)`` where ``memory_bits`` is the per-row budget.
+MatrixFactory = Callable[[int, int, int, int, str], SketchMatrix]
+
+_REGISTRY: dict[str, MatrixFactory] = {}
+
+#: Matrix name -> implementing class, populated by ``__init_subclass__``.
+_CLASS_REGISTRY: dict[str, type] = {}
+
+
+def matrix_class(name: str) -> type:
+    """Return the class implementing the matrix registered under ``name``."""
+    key = name.lower()
+    if key not in _CLASS_REGISTRY:
+        known = ", ".join(sorted(_CLASS_REGISTRY)) or "<none>"
+        raise KeyError(f"unknown matrix class {name!r}; known classes: {known}")
+    return _CLASS_REGISTRY[key]
+
+
+def matrix_from_state(state: dict) -> SketchMatrix:
+    """Rebuild any registered matrix from a ``state_dict()`` snapshot."""
+    name = state.get("name")
+    if not isinstance(name, str):
+        raise ValueError("matrix state has no 'name' key to dispatch on")
+    return matrix_class(name).from_state_dict(state)
+
+
+def register_matrix(name: str, factory: MatrixFactory) -> None:
+    """Register ``factory`` under ``name`` (lower-case, unique)."""
+    key = name.lower()
+    if key in _REGISTRY:
+        raise ValueError(f"matrix name {name!r} is already registered")
+    _REGISTRY[key] = factory
+
+
+def available_matrices() -> Iterator[str]:
+    """Iterate over the registered matrix backend names in sorted order."""
+    return iter(sorted(_REGISTRY))
+
+
+def create_matrix(
+    name: str,
+    num_keys: int,
+    memory_bits: int,
+    n_max: int,
+    seed: int = 0,
+    mixer: str = "splitmix64",
+) -> SketchMatrix:
+    """Instantiate a registered matrix backend by algorithm name.
+
+    ``memory_bits`` and ``n_max`` dimension each *row* exactly as
+    :func:`repro.sketches.base.create_sketch` would dimension a standalone
+    sketch -- a matrix row and the equivalent standalone sketch always share
+    one configuration.
+    """
+    key = name.lower()
+    if key not in _REGISTRY:
+        known = ", ".join(sorted(_REGISTRY)) or "<none>"
+        raise KeyError(f"unknown matrix backend {name!r}; registered: {known}")
+    return _REGISTRY[key](num_keys, memory_bits, n_max, seed, mixer)

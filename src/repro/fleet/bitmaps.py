@@ -1,0 +1,278 @@
+"""Packed-bitmap matrix backends: linear-counting and virtual-bitmap fleets.
+
+Every key's ``m``-bit bitmap lives as one row of a packed
+``(num_keys, ceil(m / 8))`` ``uint8`` plane (bit ``j`` of a row is bit
+``j & 7`` of byte ``j >> 3``, LSB first), an 8x memory saving over boolean
+storage that still supports fully vectorised grouped ingestion: testing is
+a gather-shift-mask, setting is an unbuffered ``np.bitwise_or.at`` scatter,
+and per-row occupancy is a byte-table popcount -- all free of per-row Python
+loops.  The shared machinery lives in :class:`PackedBitmapMatrix`; the
+S-bitmap backend (:mod:`repro.fleet.sbitmap_matrix`) builds on it too.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.fleet.base import SketchMatrix
+from repro.sketches.linear_counting import LinearCounting, linear_counting_estimate
+from repro.sketches.virtual_bitmap import VirtualBitmap
+
+__all__ = ["PackedBitmapMatrix", "LinearCountingMatrix", "VirtualBitmapMatrix"]
+
+#: Per-byte popcount table: ``_POPCOUNT[plane].sum(axis=1)`` is the per-row
+#: number of set bits.
+_POPCOUNT = np.array([bin(value).count("1") for value in range(256)], dtype=np.int64)
+
+#: ``1 << b`` for ``b = 0..7``, the single-bit masks of the packed layout.
+_BIT_MASKS = (np.uint8(1) << np.arange(8, dtype=np.uint8)).astype(np.uint8)
+
+
+class PackedBitmapMatrix(SketchMatrix):
+    """Shared state block of every bitmap-per-row backend (no name: abstract).
+
+    Subclasses decide how a hashed value maps to a bucket and when a bit is
+    set; this class owns the packed plane, the bit test/set kernels, the
+    popcount, growth, row extraction and the plane snapshot keys.
+    """
+
+    def __init__(
+        self, num_keys: int, num_bits: int, seed: int = 0, mixer: str = "splitmix64"
+    ) -> None:
+        if num_bits < 1:
+            raise ValueError(f"num_bits must be positive, got {num_bits}")
+        super().__init__(num_keys, seed=seed, mixer=mixer)
+        self.num_bits = int(num_bits)
+        self._row_bytes = (self.num_bits + 7) // 8
+        self._plane = np.zeros((self.num_keys, self._row_bytes), dtype=np.uint8)
+
+    # -- packed-bit kernels -------------------------------------------- #
+
+    def _test_bits(self, groups: np.ndarray, buckets: np.ndarray) -> np.ndarray:
+        """Boolean mask: is bit ``buckets[i]`` of row ``groups[i]`` set?"""
+        bytes_ = self._plane[groups, buckets >> 3]
+        return (bytes_ >> (buckets & 7).astype(np.uint8)) & np.uint8(1) != 0
+
+    def _set_bits(self, groups: np.ndarray, buckets: np.ndarray) -> None:
+        """Set bit ``buckets[i]`` of row ``groups[i]`` (duplicates fine)."""
+        np.bitwise_or.at(
+            self._plane, (groups, buckets >> 3), _BIT_MASKS[buckets & 7]
+        )
+
+    def occupied_counts(self) -> np.ndarray:
+        """Per-row number of set bits (one popcount pass over the plane)."""
+        return _POPCOUNT[self._plane].sum(axis=1)
+
+    def row_bits(self, group: int) -> np.ndarray:
+        """Row ``group``'s bitmap unpacked to a boolean array of ``num_bits``."""
+        if not 0 <= group < self.num_keys:
+            raise IndexError(f"group {group} out of range [0, {self.num_keys})")
+        unpacked = np.unpackbits(self._plane[group], bitorder="little")
+        return unpacked[: self.num_bits].astype(bool)
+
+    def _grow_rows(self, extra: int) -> None:
+        self._plane = np.vstack(
+            [self._plane, np.zeros((extra, self._row_bytes), dtype=np.uint8)]
+        )
+
+    def memory_bits(self) -> int:
+        """``num_keys`` bitmaps of ``num_bits`` bits each."""
+        return self.num_keys * self.num_bits
+
+    def _plane_state(self) -> dict:
+        """Snapshot keys shared by every packed-bitmap backend."""
+        state = self._base_state()
+        state.update({"num_bits": self.num_bits, "plane": self._plane.tobytes().hex()})
+        return state
+
+    def _restore_plane(self, state: dict) -> None:
+        plane = np.frombuffer(bytes.fromhex(state["plane"]), dtype=np.uint8)
+        expected = self.num_keys * self._row_bytes
+        if plane.size != expected:
+            raise ValueError(
+                f"packed plane holds {plane.size} bytes but {expected} were expected"
+            )
+        self._plane = plane.reshape(self.num_keys, self._row_bytes).copy()
+        self._restore_items_seen(state)
+
+
+class LinearCountingMatrix(PackedBitmapMatrix):
+    """Fleet of linear-counting bitmaps (Whang et al.) in one packed plane.
+
+    Every row is bit-identical to a standalone :class:`~repro.sketches.
+    linear_counting.LinearCounting` with the row's spawned hash family.
+    """
+
+    name = "linear_counting"
+    mergeable = True
+
+    @classmethod
+    def from_memory(
+        cls,
+        num_keys: int,
+        memory_bits: int,
+        n_max: int,
+        seed: int = 0,
+        mixer: str = "splitmix64",
+    ) -> "LinearCountingMatrix":
+        """Per-row dimensioning of the registry factory: ``m = memory_bits``."""
+        return cls(num_keys, num_bits=memory_bits, seed=seed, mixer=mixer)
+
+    def update_grouped(self, group_ids, items) -> None:
+        """One hash pass plus one ``bitwise_or`` scatter into the plane."""
+        groups, values = self._hash_chunk(group_ids, items)
+        if values.size == 0:
+            return
+        self._count_items(groups)
+        buckets = (values % np.uint64(self.num_bits)).astype(np.intp)
+        self._set_bits(groups, buckets)
+
+    def estimates(self) -> np.ndarray:
+        """All rows' ``m ln(m / Z)`` estimates from one popcount pass."""
+        return np.asarray(
+            linear_counting_estimate(self.num_bits, self.occupied_counts()),
+            dtype=float,
+        )
+
+    def merge(self, other: SketchMatrix) -> "LinearCountingMatrix":
+        """Row-wise bitwise OR (requires identical configuration)."""
+        self._check_merge_compatible(other)
+        if other.num_bits != self.num_bits:
+            raise ValueError("cannot merge matrices of different bitmap sizes")
+        self._plane |= other._plane
+        self._items_seen += other._items_seen
+        return self
+
+    def row_sketch(self, group: int) -> LinearCounting:
+        """Standalone sketch with row ``group``'s bitmap and hash family."""
+        sketch = LinearCounting(
+            num_bits=self.num_bits, hash_family=self.row_hash_family(group)
+        )
+        sketch._bits = self.row_bits(group)
+        return sketch
+
+    def state_dict(self) -> dict:
+        return self._plane_state()
+
+    @classmethod
+    def from_state_dict(cls, state: dict) -> "LinearCountingMatrix":
+        matrix = cls(
+            num_keys=int(state["num_keys"]),
+            num_bits=int(state["num_bits"]),
+            seed=int(state["seed"]),
+            mixer=state["mixer"],
+        )
+        matrix._restore_plane(state)
+        return matrix
+
+
+class VirtualBitmapMatrix(PackedBitmapMatrix):
+    """Fleet of virtual (sampled) bitmaps in one packed plane.
+
+    The fixed sampling rate is shared by every row (rows are dimensioned
+    identically, exactly like a fleet of standalone sketches built by the
+    registry factory); the admission filter is a single vectorised
+    comparison before the scatter.
+    """
+
+    name = "virtual_bitmap"
+    mergeable = True
+
+    def __init__(
+        self,
+        num_keys: int,
+        num_bits: int,
+        sampling_rate: float = 1.0,
+        seed: int = 0,
+        mixer: str = "splitmix64",
+    ) -> None:
+        if not 0.0 < sampling_rate <= 1.0:
+            raise ValueError(
+                f"sampling_rate must lie in (0, 1], got {sampling_rate}"
+            )
+        super().__init__(num_keys, num_bits=num_bits, seed=seed, mixer=mixer)
+        self.sampling_rate = float(sampling_rate)
+
+    @classmethod
+    def from_memory(
+        cls,
+        num_keys: int,
+        memory_bits: int,
+        n_max: int,
+        seed: int = 0,
+        mixer: str = "splitmix64",
+    ) -> "VirtualBitmapMatrix":
+        """Per-row dimensioning of the registry factory (``for_range``)."""
+        probe = VirtualBitmap.for_range(num_bits=memory_bits, n_max=n_max)
+        return cls(
+            num_keys,
+            num_bits=memory_bits,
+            sampling_rate=probe.sampling_rate,
+            seed=seed,
+            mixer=mixer,
+        )
+
+    def update_grouped(self, group_ids, items) -> None:
+        """Hash once, mask the sampled records, scatter the survivors."""
+        groups, values = self._hash_chunk(group_ids, items)
+        if values.size == 0:
+            return
+        self._count_items(groups)
+        variates = (values & np.uint64(0xFFFFFFFF)).astype(np.float64) * 2.0**-32
+        admitted = variates < self.sampling_rate
+        if not admitted.any():
+            return
+        values = values[admitted]
+        buckets = ((values >> np.uint64(32)) % np.uint64(self.num_bits)).astype(
+            np.intp
+        )
+        self._set_bits(groups[admitted], buckets)
+
+    def estimates(self) -> np.ndarray:
+        """All rows' scaled estimates ``(1/r) m ln(m / Z)`` in one pass."""
+        return (
+            np.asarray(
+                linear_counting_estimate(self.num_bits, self.occupied_counts()),
+                dtype=float,
+            )
+            / self.sampling_rate
+        )
+
+    def merge(self, other: SketchMatrix) -> "VirtualBitmapMatrix":
+        """Row-wise bitwise OR (requires identical configuration)."""
+        self._check_merge_compatible(other)
+        if (other.num_bits, other.sampling_rate) != (
+            self.num_bits,
+            self.sampling_rate,
+        ):
+            raise ValueError("cannot merge virtual-bitmap matrices with different designs")
+        self._plane |= other._plane
+        self._items_seen += other._items_seen
+        return self
+
+    def row_sketch(self, group: int) -> VirtualBitmap:
+        """Standalone sketch with row ``group``'s bitmap and hash family."""
+        sketch = VirtualBitmap(
+            num_bits=self.num_bits,
+            sampling_rate=self.sampling_rate,
+            hash_family=self.row_hash_family(group),
+        )
+        sketch._bits = self.row_bits(group)
+        return sketch
+
+    def state_dict(self) -> dict:
+        state = self._plane_state()
+        state["sampling_rate"] = self.sampling_rate
+        return state
+
+    @classmethod
+    def from_state_dict(cls, state: dict) -> "VirtualBitmapMatrix":
+        matrix = cls(
+            num_keys=int(state["num_keys"]),
+            num_bits=int(state["num_bits"]),
+            sampling_rate=float(state["sampling_rate"]),
+            seed=int(state["seed"]),
+            mixer=state["mixer"],
+        )
+        matrix._restore_plane(state)
+        return matrix

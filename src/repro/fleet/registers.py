@@ -1,0 +1,185 @@
+"""Register-plane matrix backends: LogLog and HyperLogLog fleets.
+
+One ``(num_keys, num_registers)`` ``uint8`` plane holds every key's register
+array.  Register updates commute (each register keeps a running maximum), so
+grouped ingestion is a single hash pass plus one unbuffered
+``np.maximum.at`` scatter over the flattened plane -- no per-row work at
+all -- and the whole plane decodes in one call to the shared estimators
+(:func:`~repro.sketches.loglog.loglog_estimate` /
+:func:`~repro.sketches.hyperloglog.hyperloglog_estimate`), which already
+accept an N-D register array with a row axis.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.theory import register_width_bits
+from repro.fleet.base import SketchMatrix
+from repro.hashing.arrays import rho_array
+from repro.sketches.hyperloglog import HyperLogLog, hyperloglog_estimate
+from repro.sketches.loglog import LogLog, loglog_estimate
+
+__all__ = ["LogLogMatrix", "HyperLogLogMatrix"]
+
+
+class LogLogMatrix(SketchMatrix):
+    """Fleet of LogLog sketches in one shared register plane.
+
+    Every row is bit-identical to a standalone :class:`~repro.sketches.
+    loglog.LogLog` with ``hash_family = MixerHashFamily(seed).spawn(row)``
+    fed the same substream (property-tested).
+    """
+
+    name = "loglog"
+    mergeable = True
+
+    #: Standalone class a row corresponds to (HyperLogLogMatrix overrides).
+    _row_class = LogLog
+
+    def __init__(
+        self,
+        num_keys: int,
+        num_registers: int,
+        register_width: int = 5,
+        seed: int = 0,
+        mixer: str = "splitmix64",
+    ) -> None:
+        if num_registers < 2:
+            raise ValueError(f"need at least 2 registers, got {num_registers}")
+        if not 1 <= register_width <= 8:
+            raise ValueError(
+                f"register_width must be between 1 and 8 bits, got {register_width}"
+            )
+        super().__init__(num_keys, seed=seed, mixer=mixer)
+        self.num_registers = int(num_registers)
+        self.register_width = int(register_width)
+        self._max_rho = (1 << register_width) - 1
+        self._plane = np.zeros((self.num_keys, self.num_registers), dtype=np.uint8)
+
+    @classmethod
+    def from_memory(
+        cls,
+        num_keys: int,
+        memory_bits: int,
+        n_max: int,
+        seed: int = 0,
+        mixer: str = "splitmix64",
+    ) -> "LogLogMatrix":
+        """Dimension each row for ``memory_bits``, like the standalone sketch."""
+        width = register_width_bits(n_max)
+        registers = max(2, memory_bits // width)
+        return cls(
+            num_keys,
+            num_registers=registers,
+            register_width=width,
+            seed=seed,
+            mixer=mixer,
+        )
+
+    def update_grouped(self, group_ids, items) -> None:
+        """One hash pass, one ``np.maximum.at`` scatter into the plane."""
+        groups, values = self._hash_chunk(group_ids, items)
+        if values.size == 0:
+            return
+        self._count_items(groups)
+        registers = (
+            (values >> np.uint64(32)) % np.uint64(self.num_registers)
+        ).astype(np.intp)
+        observations = np.minimum(
+            rho_array(values & np.uint64(0xFFFFFFFF), width=32), self._max_rho
+        ).astype(np.uint8)
+        np.maximum.at(self._plane, (groups, registers), observations)
+
+    def estimates(self) -> np.ndarray:
+        """Every row's geometric-mean estimate from one plane decode."""
+        return np.asarray(loglog_estimate(self._plane, axis=1), dtype=float)
+
+    def memory_bits(self) -> int:
+        """``num_keys`` rows of ``m`` registers of ``register_width`` bits."""
+        return self.num_keys * self.num_registers * self.register_width
+
+    def merge(self, other: SketchMatrix) -> "LogLogMatrix":
+        """Row-wise register maximum (requires identical configuration)."""
+        self._check_merge_compatible(other)
+        if (other.num_registers, other.register_width) != (
+            self.num_registers,
+            self.register_width,
+        ):
+            raise ValueError("cannot merge matrices with different register layouts")
+        np.maximum(self._plane, other._plane, out=self._plane)
+        self._items_seen += other._items_seen
+        return self
+
+    def row_sketch(self, group: int) -> LogLog:
+        """Standalone sketch with row ``group``'s registers and hash family."""
+        sketch = self._row_class(
+            num_registers=self.num_registers,
+            register_width=self.register_width,
+            hash_family=self.row_hash_family(group),
+        )
+        sketch._registers = self._plane[group].copy()
+        return sketch
+
+    def _grow_rows(self, extra: int) -> None:
+        self._plane = np.vstack(
+            [self._plane, np.zeros((extra, self.num_registers), dtype=np.uint8)]
+        )
+
+    @property
+    def register_plane(self) -> np.ndarray:
+        """Read-only view of the ``(num_keys, num_registers)`` plane."""
+        view = self._plane.view()
+        view.flags.writeable = False
+        return view
+
+    def state_dict(self) -> dict:
+        """Snapshot: layout, hash configuration and the raw register plane."""
+        state = self._base_state()
+        state.update(
+            {
+                "num_registers": self.num_registers,
+                "register_width": self.register_width,
+                "plane": self._plane.tobytes().hex(),
+            }
+        )
+        return state
+
+    @classmethod
+    def from_state_dict(cls, state: dict) -> "LogLogMatrix":
+        matrix = cls(
+            num_keys=int(state["num_keys"]),
+            num_registers=int(state["num_registers"]),
+            register_width=int(state["register_width"]),
+            seed=int(state["seed"]),
+            mixer=state["mixer"],
+        )
+        plane = np.frombuffer(bytes.fromhex(state["plane"]), dtype=np.uint8)
+        expected = matrix.num_keys * matrix.num_registers
+        if plane.size != expected:
+            raise ValueError(
+                f"register plane holds {plane.size} registers but "
+                f"{expected} were expected"
+            )
+        matrix._plane = plane.reshape(matrix.num_keys, matrix.num_registers).copy()
+        matrix._restore_items_seen(state)
+        return matrix
+
+
+class HyperLogLogMatrix(LogLogMatrix):
+    """Fleet of HyperLogLog sketches (register layout shared with LogLog).
+
+    Only the decoder differs -- exactly the relationship between the
+    standalone classes -- so ingestion cost is identical and rows stay
+    bit-identical to standalone :class:`~repro.sketches.hyperloglog.
+    HyperLogLog` sketches.
+    """
+
+    name = "hyperloglog"
+    mergeable = True
+
+    _row_class = HyperLogLog
+
+    def estimates(self) -> np.ndarray:
+        """Every row's harmonic-mean estimate (with small-range correction)."""
+        return np.asarray(hyperloglog_estimate(self._plane, axis=1), dtype=float)

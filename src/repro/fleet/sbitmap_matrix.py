@@ -1,0 +1,294 @@
+"""The S-bitmap fleet backend: 600 links, one packed plane, one hash pass.
+
+The S-bitmap's admission decision depends on the row's *current* fill level
+(Algorithm 2), so unlike the commuting backends a chunk cannot be scattered
+blindly.  The matrix keeps the structure of the standalone
+:meth:`~repro.core.sbitmap.SBitmap.update_batch` fast path but lifts the
+vectorised part across all rows at once:
+
+1. one grouped hash pass over the whole chunk,
+2. the bucket-occupied filter as a packed-bit gather over ``(row, bucket)``
+   pairs, and
+3. the rate filter against each row's *maximum still-reachable* admission
+   rate -- a per-row table lookup ``reach[fill[row]]``, where ``reach`` is
+   the suffix maximum of the shared sampling-rate table (cached once per
+   design and shared by every row, since all rows have one design).
+
+Only the items surviving both filters -- essentially the stream's admissible
+new keys -- reach the interpreted admission loop, which walks them in chunk
+order re-checking occupancy and the exact per-row rate.  Rows are
+independent, so one global stream-order walk preserves Algorithm 2 for
+every row simultaneously; the resulting state is bit-identical to a loop of
+standalone per-row sketches (property-tested).
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.core.dimensioning import SBitmapDesign
+from repro.core.estimator import SBitmapEstimator
+from repro.core.sbitmap import SBitmap
+from repro.fleet.bitmaps import PackedBitmapMatrix
+
+__all__ = ["SBitmapMatrix"]
+
+
+class SBitmapMatrix(PackedBitmapMatrix):
+    """Fleet of S-bitmaps sharing one design, rate table and packed plane.
+
+    Parameters
+    ----------
+    num_keys:
+        Number of rows (monitored keys / links).
+    design:
+        The shared :class:`~repro.core.dimensioning.SBitmapDesign`; its
+        memoised rate tables are computed once and shared by every row.
+    seed, mixer:
+        Base hash configuration; row ``g`` hashes with
+        ``MixerHashFamily(seed, mixer).spawn(g)``.
+    """
+
+    name = "sbitmap"
+    mergeable = False
+
+    def __init__(
+        self,
+        num_keys: int,
+        design: SBitmapDesign,
+        seed: int = 0,
+        mixer: str = "splitmix64",
+    ) -> None:
+        super().__init__(num_keys, num_bits=design.num_bits, seed=seed, mixer=mixer)
+        self.design = design
+        self.estimator = SBitmapEstimator(design)
+        self._fills = np.zeros(self.num_keys, dtype=np.int64)
+        rates = design.sampling_rates()
+        # Plain-list mirror of the rate table for the interpreted admission
+        # loop (list indexing is ~3x cheaper than ndarray scalar indexing).
+        self._rates_list = rates.tolist()
+        # reach[f] = max admission rate reachable from fill level f, i.e.
+        # max(rates[f+1:]) (the standalone path's nanmax, precomputed for
+        # every fill level as a suffix maximum); reach[m] = 0: a full bitmap
+        # admits nothing.
+        suffix = np.maximum.accumulate(rates[:0:-1])[::-1]
+        self._reach = np.append(suffix, 0.0)
+
+    # ------------------------------------------------------------------ #
+    # constructors
+    # ------------------------------------------------------------------ #
+
+    @classmethod
+    def from_memory(
+        cls,
+        num_keys: int,
+        memory_bits: int,
+        n_max: int,
+        seed: int = 0,
+        mixer: str = "splitmix64",
+    ) -> "SBitmapMatrix":
+        """Per-row budget ``m`` (bits) and range bound ``N`` (equation (7))."""
+        return cls(
+            num_keys, SBitmapDesign.from_memory(memory_bits, n_max), seed, mixer
+        )
+
+    @classmethod
+    def from_error(
+        cls,
+        num_keys: int,
+        n_max: int,
+        target_rrmse: float,
+        seed: int = 0,
+        mixer: str = "splitmix64",
+    ) -> "SBitmapMatrix":
+        """Per-row RRMSE ``target_rrmse`` up to ``N`` (Section 5 dimensioning)."""
+        return cls(
+            num_keys, SBitmapDesign.from_error(n_max, target_rrmse), seed, mixer
+        )
+
+    # ------------------------------------------------------------------ #
+    # ingestion
+    # ------------------------------------------------------------------ #
+
+    def update_grouped(self, group_ids, items) -> None:
+        """Grouped ingestion, bit-identical per row to Algorithm 2.
+
+        See the module docstring for the filter cascade.  Dropping an item
+        whose sampling variate is at least its row's maximum reachable rate
+        is a no-op in the sequential semantics (rates are non-increasing in
+        the fill level and the fill level only grows), so the loop visits
+        only genuinely admissible candidates.
+        """
+        groups, values = self._hash_chunk(group_ids, items)
+        if values.size == 0:
+            return
+        self._count_items(groups)
+        num_bits = self.num_bits
+        buckets = ((values >> np.uint64(32)) % np.uint64(num_bits)).astype(np.intp)
+        candidates = ~self._test_bits(groups, buckets)
+        if not candidates.any():
+            return
+        variates = (values & np.uint64(0xFFFFFFFF)).astype(np.float64) * 2.0**-32
+        candidates &= variates < self._reach[self._fills[groups]]
+        index = np.flatnonzero(candidates)
+        if index.size == 0:
+            return
+        # Interpreted admission walk over the survivors, in stream order.
+        # Every surviving candidate's bucket was UNSET at chunk start (the
+        # occupied filter above), so the only occupancy that can change a
+        # decision mid-chunk is an admission from this very walk -- tracked
+        # in ``admitted`` as plain ints, which keeps the loop free of NumPy
+        # scalar access.  Candidates are visited in stream-order blocks with
+        # the rate filter re-tightened between blocks (admissions lower each
+        # row's reachable rates, so re-filtering the tail against the
+        # *current* fills keeps shrinking the interpreted loop while
+        # admissions stay exact -- the standalone fast path's blockwise
+        # discipline, lifted across rows).  The admitted bits are scattered
+        # into the packed plane once, afterwards.
+        rates = self._rates_list
+        reach = self._reach
+        fills = self._fills.tolist()
+        admitted: set[int] = set()
+        admitted_groups: list[int] = []
+        admitted_buckets: list[int] = []
+        cand_groups = groups[index]
+        cand_buckets = buckets[index]
+        cand_variates = variates[index]
+        block_size = 2_048
+        total = int(index.size)
+        start = 0
+        while start < total:
+            stop = min(start + block_size, total)
+            block_groups = cand_groups[start:stop]
+            # Gather the block rows' current fills by whichever path is
+            # cheaper: one C-level conversion of the whole fills list (small
+            # fleets), or a per-candidate gather (fleets with far more rows
+            # than a block holds, e.g. CLI --group-by on a high-cardinality
+            # column).
+            if self.num_keys <= block_size:
+                fills_now = np.asarray(fills, dtype=np.int64)[block_groups]
+            else:
+                fills_now = np.fromiter(
+                    (fills[group] for group in block_groups.tolist()),
+                    dtype=np.int64,
+                    count=block_groups.size,
+                )
+            keep = cand_variates[start:stop] < reach[fills_now]
+            for group, bucket, variate in zip(
+                block_groups[keep].tolist(),
+                cand_buckets[start:stop][keep].tolist(),
+                cand_variates[start:stop][keep].tolist(),
+            ):
+                fill = fills[group]
+                if fill >= num_bits:
+                    continue
+                token = group * num_bits + bucket
+                if token in admitted:
+                    continue
+                if variate < rates[fill + 1]:
+                    admitted.add(token)
+                    fills[group] = fill + 1
+                    admitted_groups.append(group)
+                    admitted_buckets.append(bucket)
+            start = stop
+        if admitted_groups:
+            self._set_bits(
+                np.asarray(admitted_groups, dtype=np.intp),
+                np.asarray(admitted_buckets, dtype=np.intp),
+            )
+            self._fills = np.asarray(fills, dtype=np.int64)
+
+    # ------------------------------------------------------------------ #
+    # queries
+    # ------------------------------------------------------------------ #
+
+    def estimates(self) -> np.ndarray:
+        """All rows' ``t_B`` estimates from one table gather (equation (8))."""
+        return np.asarray(self.estimator.estimate_many(self._fills), dtype=float)
+
+    @property
+    def fill_counts(self) -> np.ndarray:
+        """Per-row number of set bits ``L`` (before truncation)."""
+        view = self._fills.view()
+        view.flags.writeable = False
+        return view
+
+    @property
+    def saturated_rows(self) -> np.ndarray:
+        """Boolean mask of rows at or beyond the truncation level ``b_max``."""
+        return self._fills >= self.design.max_fill
+
+    def row_sketch(self, group: int) -> SBitmap:
+        """Standalone S-bitmap with row ``group``'s state and hash family."""
+        sketch = SBitmap(self.design, hash_family=self.row_hash_family(group))
+        sketch._bits = self.row_bits(group)
+        sketch._fill_count = int(self._fills[group])
+        sketch._items_seen = int(self._items_seen[group])
+        return sketch
+
+    def _grow_rows(self, extra: int) -> None:
+        super()._grow_rows(extra)
+        self._fills = np.concatenate(
+            [self._fills, np.zeros(extra, dtype=np.int64)]
+        )
+
+    # ------------------------------------------------------------------ #
+    # serialization
+    # ------------------------------------------------------------------ #
+
+    def state_dict(self) -> dict:
+        """Snapshot: design triple, hash configuration, fills and the plane."""
+        state = self._plane_state()
+        state.update(
+            {
+                "n_max": self.design.n_max,
+                "precision": self.design.precision,
+                "fills": self._fills.tolist(),
+            }
+        )
+        return state
+
+    @classmethod
+    def from_state_dict(cls, state: dict) -> "SBitmapMatrix":
+        """Rebuild a fleet from :meth:`state_dict` output (validated).
+
+        Mirrors :meth:`repro.core.sbitmap.SBitmap.from_dict`: the serialized
+        ``precision`` must solve equation (7) for the serialized
+        ``(num_bits, n_max)`` pair, and every row's ``fill`` must equal the
+        popcount of its serialized bitmap.
+        """
+        from repro.core.dimensioning import solve_precision_constant
+
+        num_bits = int(state["num_bits"])
+        n_max = int(state["n_max"])
+        precision = float(state["precision"])
+        expected = solve_precision_constant(num_bits, n_max)
+        if not math.isclose(precision, expected, rel_tol=1e-6):
+            raise ValueError(
+                f"inconsistent S-bitmap fleet payload: precision {precision!r} "
+                f"does not match the design constant {expected!r} implied by "
+                f"num_bits={num_bits}, n_max={n_max} (equation (7))"
+            )
+        design = SBitmapDesign(num_bits=num_bits, n_max=n_max, precision=precision)
+        matrix = cls(
+            num_keys=int(state["num_keys"]),
+            design=design,
+            seed=int(state["seed"]),
+            mixer=state["mixer"],
+        )
+        matrix._restore_plane(state)
+        fills = np.asarray(state["fills"], dtype=np.int64)
+        if fills.shape != (matrix.num_keys,):
+            raise ValueError(
+                f"fills holds {fills.size} rows but {matrix.num_keys} were expected"
+            )
+        occupied = matrix.occupied_counts()
+        if not np.array_equal(fills, occupied):
+            raise ValueError(
+                "inconsistent S-bitmap fleet payload: per-row fills do not "
+                "match the popcounts of the serialized bitmaps"
+            )
+        matrix._fills = fills
+        return matrix

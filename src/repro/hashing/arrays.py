@@ -14,7 +14,16 @@ ndarrays so a whole chunk of keys is mixed by a handful of NumPy kernels:
   anything else falls back to :func:`~repro.hashing.mixers.key_to_int` per
   item,
 * :func:`rho_array` -- vectorised position-of-leftmost-1-bit statistic, the
-  array twin of :func:`~repro.hashing.bits.rho`.
+  array twin of :func:`~repro.hashing.bits.rho`,
+* grouped helpers for the multi-key fleet backends
+  (:mod:`repro.fleet`): :func:`spawn_seed_array` derives one independent
+  hash-stream seed per row exactly like
+  :meth:`~repro.hashing.family.HashFamily.spawn`,
+  :func:`mixer_seed_mix_array` turns those seeds into the per-row pre-mix
+  constants of :class:`~repro.hashing.family.MixerHashFamily`, and
+  :func:`grouped_hash64_array` mixes a whole chunk of keys -- each carrying
+  its own row's pre-mix -- in one array pass, bit-identical to hashing each
+  key with its row's standalone family.
 
 All arithmetic stays in ``uint64`` where C-style modular wrap-around matches
 the ``& MASK64`` discipline of the scalar code exactly.
@@ -26,12 +35,15 @@ from typing import Iterable
 
 import numpy as np
 
-from repro.hashing.mixers import MASK64, key_to_int
+from repro.hashing.mixers import MASK64, MIXER_SEED_SALT, SPAWN_SALT, key_to_int
 
 __all__ = [
+    "grouped_hash64_array",
     "keys_to_int_array",
+    "mixer_seed_mix_array",
     "murmur_finalize_array",
     "rho_array",
+    "spawn_seed_array",
     "splitmix64_array",
 ]
 
@@ -75,6 +87,58 @@ def keys_to_int_array(items: np.ndarray | Iterable[object]) -> np.ndarray:
     return np.fromiter(
         (key_to_int(item) & MASK64 for item in items), dtype=np.uint64
     )
+
+
+def spawn_seed_array(seed: int, num_streams: int) -> np.ndarray:
+    """Derived seeds of ``family.spawn(0) .. family.spawn(num_streams - 1)``.
+
+    Element ``i`` equals ``splitmix64((seed ^ SPAWN_SALT) + i)`` -- the exact
+    seed :meth:`repro.hashing.family.HashFamily.spawn` derives for stream
+    ``i`` -- computed for all streams in one vectorised pass (``uint64``
+    wrap-around matches the scalar ``& MASK64`` masking).
+    """
+    if num_streams < 0:
+        raise ValueError(f"num_streams must be non-negative, got {num_streams}")
+    base = np.uint64((seed ^ SPAWN_SALT) & MASK64)
+    return splitmix64_array(base + np.arange(num_streams, dtype=np.uint64))
+
+
+def mixer_seed_mix_array(seeds: np.ndarray) -> np.ndarray:
+    """Per-instance pre-mix constants of mixer families with the given seeds.
+
+    Element-wise twin of the ``_seed_mix`` a
+    :class:`~repro.hashing.family.MixerHashFamily` computes in its
+    constructor: ``splitmix64(seed ^ MIXER_SEED_SALT)``.  Feeding the output
+    to :func:`grouped_hash64_array` reproduces each family's ``hash64``
+    bit-exactly without instantiating the families.
+    """
+    seeds = np.asarray(seeds, dtype=np.uint64)
+    return splitmix64_array(seeds ^ np.uint64(MIXER_SEED_SALT))
+
+
+def grouped_hash64_array(
+    keys: np.ndarray, seed_mixes: np.ndarray, mixer: str = "splitmix64"
+) -> np.ndarray:
+    """Hash a chunk of canonical keys, each under its own row's seed mix.
+
+    ``keys`` and ``seed_mixes`` are aligned ``uint64`` arrays: element ``i``
+    is hashed as the mixer family whose pre-mix constant is
+    ``seed_mixes[i]`` would hash it (``mix(key ^ seed_mix)``), so one array
+    pass serves every row of a sketch matrix at once.  Callers gather
+    ``seed_mixes`` from a per-row table (``row_mixes[group_ids]``); the
+    result is bit-identical to ``family_of_row_i.hash64(key_i)``.
+    """
+    if mixer not in ("splitmix64", "murmur"):
+        raise ValueError(f"unknown mixer {mixer!r}")
+    mix = splitmix64_array if mixer == "splitmix64" else murmur_finalize_array
+    keys = np.asarray(keys, dtype=np.uint64)
+    seed_mixes = np.asarray(seed_mixes, dtype=np.uint64)
+    if keys.shape != seed_mixes.shape:
+        raise ValueError(
+            f"keys and seed_mixes must be aligned, got shapes {keys.shape} "
+            f"and {seed_mixes.shape}"
+        )
+    return mix(keys ^ seed_mixes)
 
 
 def rho_array(values: np.ndarray, width: int = 64) -> np.ndarray:

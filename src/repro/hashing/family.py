@@ -32,6 +32,8 @@ from repro.hashing.arrays import (
 from repro.hashing.bits import bit_field, rho
 from repro.hashing.mixers import (
     MASK64,
+    MIXER_SEED_SALT,
+    SPAWN_SALT,
     key_to_int,
     murmur_finalize,
     splitmix64,
@@ -110,9 +112,11 @@ class HashFamily(abc.ABC):
 
         Sketches that need several independent hash functions (e.g. PCSA with
         separate bucket and value hashes) call ``spawn`` rather than inventing
-        their own seed arithmetic.
+        their own seed arithmetic.  :func:`repro.hashing.arrays.spawn_seed_array`
+        is the vectorised twin of this derivation (one seed per row of a
+        :class:`~repro.fleet.SketchMatrix`).
         """
-        derived_seed = splitmix64((self.seed ^ 0xA5A5A5A5A5A5A5A5) + stream_index)
+        derived_seed = splitmix64((self.seed ^ SPAWN_SALT) + stream_index)
         return type(self)(seed=derived_seed)
 
     def config_dict(self) -> dict:
@@ -149,7 +153,7 @@ class MixerHashFamily(HashFamily):
             raise ValueError(f"unknown mixer {mixer!r}")
         self.mixer = mixer
         self._mix = splitmix64 if mixer == "splitmix64" else murmur_finalize
-        self._seed_mix = splitmix64(self.seed ^ 0x6A09E667F3BCC908)
+        self._seed_mix = splitmix64(self.seed ^ MIXER_SEED_SALT)
 
     def hash64(self, item: object) -> int:
         key = key_to_int(item)
@@ -163,7 +167,7 @@ class MixerHashFamily(HashFamily):
         return mix(keys ^ np.uint64(self._seed_mix))
 
     def spawn(self, stream_index: int) -> "MixerHashFamily":
-        derived_seed = splitmix64((self.seed ^ 0xA5A5A5A5A5A5A5A5) + stream_index)
+        derived_seed = splitmix64((self.seed ^ SPAWN_SALT) + stream_index)
         return MixerHashFamily(seed=derived_seed, mixer=self.mixer)
 
     def config_dict(self) -> dict:

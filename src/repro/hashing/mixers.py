@@ -20,6 +20,16 @@ from __future__ import annotations
 
 MASK64 = (1 << 64) - 1
 
+#: Salt folded into the seed when deriving independent hash streams
+#: (:meth:`repro.hashing.family.HashFamily.spawn` and the vectorised
+#: :func:`repro.hashing.arrays.spawn_seed_array` must agree on it).
+SPAWN_SALT = 0xA5A5A5A5A5A5A5A5
+
+#: Salt folded into a mixer family's seed before pre-mixing it
+#: (:class:`repro.hashing.family.MixerHashFamily` and the vectorised
+#: :func:`repro.hashing.arrays.mixer_seed_mix_array` must agree on it).
+MIXER_SEED_SALT = 0x6A09E667F3BCC908
+
 _FNV_OFFSET = 0xCBF29CE484222325
 _FNV_PRIME = 0x100000001B3
 

@@ -5,8 +5,15 @@ across disjoint shard sketches (ingested serially or on a worker pool) and
 answers queries by merging the shards -- exactly for mergeable sketches, with
 the paper's per-link additive combine for the S-bitmap.  See the module
 docstring of :mod:`repro.pipeline.sharded` for the accuracy guarantees.
+
+:class:`~repro.pipeline.fleet.FleetCounter` lifts the same structure to
+multi-key streams: each shard holds a whole
+:class:`~repro.fleet.SketchMatrix` (one sketch row per monitored key),
+``(group, key)`` records route to shards by item key, and queries combine
+the shards per group -- the paper's 600-link deployment, end to end.
 """
 
+from repro.pipeline.fleet import FleetCounter
 from repro.pipeline.sharded import ShardedCounter, partition_chunk
 
-__all__ = ["ShardedCounter", "partition_chunk"]
+__all__ = ["FleetCounter", "ShardedCounter", "partition_chunk"]

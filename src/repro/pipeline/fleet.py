@@ -1,0 +1,272 @@
+"""Sharded multi-key counting: route ``(group, key)`` pairs, merge per group.
+
+:class:`FleetCounter` combines the two distribution axes of this library:
+the *rows* of a :class:`~repro.fleet.SketchMatrix` (one sketch per monitored
+key -- the paper's per-link fleet) and the *shards* of
+:class:`~repro.pipeline.sharded.ShardedCounter` (hash-partitioned key
+classes for parallel ingestion).  Each shard holds a full matrix over all
+groups; a routing hash on the **item key** (independent of the matrices'
+own hashes, and independent of the group) assigns every record to exactly
+one shard, so each shard's row sees a disjoint key class of that group's
+substream.
+
+Queries combine the shards per group:
+
+* **Mergeable backends** (HyperLogLog, LogLog, linear counting, virtual
+  bitmap) are configured identically on every shard, so the row-wise merge
+  of all shard matrices is bit-identical to one matrix fed the whole grouped
+  stream -- merge-at-query per group, wholesale.
+* **The S-bitmap** relies on the disjoint partition: each shard's row counts
+  its own key class exactly once, so the per-row shard estimates are
+  independent and *sum* -- the paper's per-link additive combine, with the
+  same RRMSE bound as :class:`~repro.pipeline.sharded.ShardedCounter`
+  (never worse than the single-design error ``eps``, approaching
+  ``eps / sqrt(num_shards)`` as the partition balances).  Shards are
+  re-dimensioned with :meth:`~repro.fleet.SBitmapMatrix.from_error` at the
+  single-design RRMSE over the per-shard range ``headroom * N /
+  num_shards``.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.fleet import SBitmapMatrix, SketchMatrix, create_matrix
+from repro.hashing.arrays import keys_to_int_array, splitmix64_array
+from repro.hashing.mixers import MASK64, key_to_int, splitmix64
+from repro.pipeline.sharded import _route_mix
+
+__all__ = ["FleetCounter"]
+
+
+class FleetCounter:
+    """Multi-key distinct counter over ``num_shards`` hash-partitioned matrices.
+
+    Parameters
+    ----------
+    algorithm:
+        Registered matrix backend name (see
+        :func:`repro.fleet.available_matrices`).
+    num_keys:
+        Number of monitored groups (rows); may be 0 and grown with
+        :meth:`grow` as groups are discovered.
+    memory_bits, n_max:
+        Per-row sketch configuration, passed to each shard's factory exactly
+        as for a standalone sketch.
+    num_shards:
+        Number of disjoint key classes / shard matrices.
+    seed:
+        Hash seed shared by every shard matrix (required for mergeable
+        bit-identity; harmless otherwise since shards see disjoint keys).
+    headroom:
+        S-bitmap only: per-shard range bound ``N_shard = headroom * N /
+        num_shards`` (see :class:`~repro.pipeline.sharded.ShardedCounter`).
+    mixer:
+        Mixer of the per-row hash families.
+    """
+
+    def __init__(
+        self,
+        algorithm: str,
+        num_keys: int,
+        memory_bits: int,
+        n_max: int,
+        num_shards: int = 1,
+        seed: int = 0,
+        headroom: float = 2.0,
+        mixer: str = "splitmix64",
+        *,
+        _shards: "list[SketchMatrix] | None" = None,
+    ) -> None:
+        if num_shards < 1:
+            raise ValueError(f"num_shards must be positive, got {num_shards}")
+        if headroom < 1.0:
+            raise ValueError(f"headroom must be at least 1, got {headroom}")
+        self.algorithm = algorithm.lower()
+        self.num_keys = int(num_keys)
+        self.shard_memory_bits = int(memory_bits)
+        self.n_max = int(n_max)
+        self.num_shards = int(num_shards)
+        self.seed = int(seed)
+        self.headroom = float(headroom)
+        self.mixer = mixer
+        self._route_mix = _route_mix(seed)
+        if _shards is not None:
+            self._shards = list(_shards)
+        else:
+            self._shards = [self._build_shard() for _ in range(self.num_shards)]
+
+    def _build_shard(self) -> SketchMatrix:
+        if self.algorithm == "sbitmap" and self.num_shards > 1:
+            import math
+
+            from repro.core.dimensioning import SBitmapDesign
+
+            design = SBitmapDesign.from_memory(self.shard_memory_bits, self.n_max)
+            shard_n_max = max(
+                16, math.ceil(self.headroom * self.n_max / self.num_shards)
+            )
+            return SBitmapMatrix.from_error(
+                self.num_keys, shard_n_max, design.rrmse, seed=self.seed,
+                mixer=self.mixer,
+            )
+        return create_matrix(
+            self.algorithm,
+            self.num_keys,
+            self.shard_memory_bits,
+            self.n_max,
+            self.seed,
+            self.mixer,
+        )
+
+    # ------------------------------------------------------------------ #
+    # ingestion
+    # ------------------------------------------------------------------ #
+
+    @property
+    def mergeable(self) -> bool:
+        """Whether queries merge shard matrices (vs the additive combine)."""
+        return self._shards[0].mergeable
+
+    @property
+    def shards(self) -> Sequence[SketchMatrix]:
+        """The per-shard matrices (read/inspect only)."""
+        return tuple(self._shards)
+
+    @property
+    def items_seen(self) -> np.ndarray:
+        """Per-group count of records routed through this counter."""
+        total = np.zeros(self.num_keys, dtype=np.int64)
+        for shard in self._shards:
+            total += shard.items_seen
+        return total
+
+    def add(self, group: int, item: object) -> None:
+        """Route one ``(group, item)`` observation to its shard (scalar path)."""
+        key = key_to_int(item)
+        shard = splitmix64((key ^ self._route_mix) & MASK64) % self.num_shards
+        self._shards[shard].add(group, key)
+
+    def update_grouped(
+        self,
+        group_ids: "np.ndarray | Iterable[int]",
+        items: "np.ndarray | Iterable[object]",
+    ) -> None:
+        """Partition a grouped chunk by item key and feed each shard matrix.
+
+        Keys are canonicalised before routing (scalar and array paths stay
+        bit-identical); every occurrence of one item always lands on the
+        same shard, so duplicates stay within a shard and the per-shard key
+        classes are disjoint.
+        """
+        keys = keys_to_int_array(items)
+        groups = np.asarray(group_ids)
+        if self.num_shards == 1:
+            self._shards[0].update_grouped(groups, keys)
+            return
+        routes = splitmix64_array(keys ^ np.uint64(self._route_mix)) % np.uint64(
+            self.num_shards
+        )
+        for shard_index, shard in enumerate(self._shards):
+            mask = routes == np.uint64(shard_index)
+            if mask.any():
+                shard.update_grouped(groups[mask], keys[mask])
+
+    def grow(self, num_keys: int) -> None:
+        """Extend every shard matrix to ``num_keys`` groups."""
+        for shard in self._shards:
+            shard.grow(num_keys)
+        self.num_keys = int(num_keys)
+
+    # ------------------------------------------------------------------ #
+    # queries
+    # ------------------------------------------------------------------ #
+
+    def merged_matrix(self) -> SketchMatrix:
+        """Merge-at-query: one matrix equivalent to ingesting the whole stream.
+
+        Only meaningful for mergeable backends; the merged plane is
+        bit-identical to a single matrix fed every chunk (asserted by the
+        test-suite).  Raises :class:`~repro.sketches.base.NotMergeableError`
+        through the shard's own ``merge`` otherwise.
+        """
+        merged = self._shards[0].copy()
+        for shard in self._shards[1:]:
+            merged.merge(shard)
+        return merged
+
+    def estimates(self) -> np.ndarray:
+        """Per-group estimates: merge-at-query, or the additive combine.
+
+        Mergeable shards are merged row-wise and decoded once.  S-bitmap
+        shards count disjoint key classes per row, so their independent
+        per-row estimates sum -- the paper's per-link combine.
+        """
+        if self.num_shards == 1:
+            return self._shards[0].estimates()
+        if self.mergeable:
+            return self.merged_matrix().estimates()
+        total = np.zeros(self.num_keys, dtype=float)
+        for shard in self._shards:
+            total += shard.estimates()
+        return total
+
+    def estimate(self, group: int) -> float:
+        """Combined estimate of one group."""
+        if not 0 <= group < self.num_keys:
+            raise IndexError(f"group {group} out of range [0, {self.num_keys})")
+        return float(self.estimates()[group])
+
+    def memory_bits(self) -> int:
+        """Total summary memory across shards (ingestion-time footprint)."""
+        return sum(shard.memory_bits() for shard in self._shards)
+
+    # ------------------------------------------------------------------ #
+    # serialization
+    # ------------------------------------------------------------------ #
+
+    def state_dict(self) -> dict:
+        """Snapshot of the fleet: config plus every shard matrix snapshot."""
+        return {
+            "name": "fleet",
+            "algorithm": self.algorithm,
+            "num_keys": self.num_keys,
+            "memory_bits": self.shard_memory_bits,
+            "n_max": self.n_max,
+            "num_shards": self.num_shards,
+            "seed": self.seed,
+            "headroom": self.headroom,
+            "mixer": self.mixer,
+            "shards": [shard.state_dict() for shard in self._shards],
+        }
+
+    @classmethod
+    def from_state_dict(cls, state: dict) -> "FleetCounter":
+        from repro.fleet import matrix_from_state
+
+        num_shards = int(state["num_shards"])
+        shards = state["shards"]
+        if len(shards) != num_shards:
+            raise ValueError(
+                f"fleet state holds {len(shards)} shards but "
+                f"num_shards={num_shards}"
+            )
+        return cls(
+            algorithm=state["algorithm"],
+            num_keys=int(state["num_keys"]),
+            memory_bits=int(state["memory_bits"]),
+            n_max=int(state["n_max"]),
+            num_shards=num_shards,
+            seed=int(state["seed"]),
+            headroom=float(state["headroom"]),
+            mixer=state["mixer"],
+            _shards=[matrix_from_state(shard) for shard in shards],
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"FleetCounter(algorithm={self.algorithm!r}, "
+            f"num_keys={self.num_keys}, num_shards={self.num_shards})"
+        )

@@ -42,6 +42,7 @@ from __future__ import annotations
 
 import math
 from concurrent.futures import ProcessPoolExecutor
+from itertools import islice
 from typing import Iterable, Sequence
 
 import numpy as np
@@ -60,6 +61,12 @@ _ROUTE_SALT = 0x5BD1E995C3B9AC1E
 #: bounds coordinator memory at ~32 MB of ``uint64`` keys while keeping each
 #: worker task large enough to amortise process overhead.
 DEFAULT_FLUSH_ITEMS = 4_000_000
+
+#: Items buffered per chunk by :meth:`ShardedCounter.update` before the
+#: buffered chunk is routed through the vectorised ``update_batch`` path:
+#: large enough to amortise the array hashing, small enough that buffering a
+#: lazy stream never materialises a significant slice of it.
+UPDATE_BUFFER_ITEMS = 65_536
 
 
 def _route_mix(seed: int) -> int:
@@ -217,9 +224,25 @@ class ShardedCounter:
         self._items_seen += 1
 
     def update(self, items: Iterable[object]) -> None:
-        """Add every item of ``items`` in order."""
-        for item in items:
-            self.add(item)
+        """Add every item of ``items`` in order (buffered, vectorised).
+
+        Items are buffered into bounded chunks (:data:`UPDATE_BUFFER_ITEMS`
+        at a time) and routed through :meth:`update_batch`, so the whole
+        chunk is canonicalised, partitioned and ingested with array kernels
+        instead of one interpreted ``add`` per item.  State is bit-identical
+        to the per-item path: routing canonicalises keys the same way, chunk
+        order preserves stream order within every shard, and each shard's
+        ``update_batch`` is state-identical to sequential ``add``.
+        """
+        if isinstance(items, np.ndarray):
+            self.update_batch(items)
+            return
+        iterator = iter(items)
+        while True:
+            chunk = list(islice(iterator, UPDATE_BUFFER_ITEMS))
+            if not chunk:
+                return
+            self.update_batch(chunk)
 
     def update_batch(self, chunk: "np.ndarray | Iterable[object]") -> None:
         """Partition a chunk and feed each shard's vectorised fast path."""

@@ -33,6 +33,24 @@ API::
 
 ``codec_version`` gates forward compatibility: payloads written by a newer
 codec are rejected with a clear error instead of being misinterpreted.
+
+Fleet codec
+-----------
+Multi-key sketch matrices (:mod:`repro.fleet`) and whole
+:class:`~repro.pipeline.fleet.FleetCounter` deployments snapshot through a
+sibling envelope with its own format marker and version::
+
+    {
+      "format": "repro/fleet",
+      "codec_version": 1,
+      "algorithm": "sbitmap",        # or "fleet" for a sharded FleetCounter
+      "state": { ... matrix snapshot ... }
+    }
+
+:func:`dumps` dispatches on the object's type and :func:`loads` on the
+payload's ``format``, so one pair of entry points round-trips single
+sketches, sharded counters and fleets alike (property-tested in
+``tests/test_fleet_matrices.py``).
 """
 
 from __future__ import annotations
@@ -46,9 +64,13 @@ from repro.sketches.morris import MorrisCounter
 
 __all__ = [
     "CODEC_VERSION",
+    "FLEET_CODEC_VERSION",
+    "FLEET_FORMAT",
     "FORMAT",
     "dump",
     "dumps",
+    "fleet_from_payload",
+    "fleet_to_payload",
     "from_payload",
     "load",
     "loads",
@@ -60,6 +82,12 @@ FORMAT = "repro/sketch"
 
 #: Version of the envelope + snapshot schema written by this module.
 CODEC_VERSION = 1
+
+#: Envelope marker of multi-key fleet snapshots (matrices / FleetCounter).
+FLEET_FORMAT = "repro/fleet"
+
+#: Version of the fleet envelope + snapshot schema written by this module.
+FLEET_CODEC_VERSION = 1
 
 
 def to_payload(sketch) -> dict:
@@ -113,18 +141,81 @@ def from_payload(payload: dict):
     return sketch_from_state(state)
 
 
+def fleet_to_payload(fleet) -> dict:
+    """Wrap a matrix / fleet-counter snapshot in the ``repro/fleet`` envelope."""
+    state = fleet.state_dict()
+    algorithm = state.get("name")
+    if not isinstance(algorithm, str) or not algorithm:
+        raise ValueError(
+            f"{type(fleet).__name__}.state_dict() did not include a 'name' key"
+        )
+    return {
+        "format": FLEET_FORMAT,
+        "codec_version": FLEET_CODEC_VERSION,
+        "algorithm": algorithm,
+        "state": state,
+    }
+
+
+def fleet_from_payload(payload: dict):
+    """Rebuild a matrix or fleet counter from a :func:`fleet_to_payload` envelope."""
+    if not isinstance(payload, dict) or payload.get("format") != FLEET_FORMAT:
+        raise ValueError(
+            f"not a {FLEET_FORMAT!r} payload; refusing to guess at the contents"
+        )
+    version = payload.get("codec_version")
+    if not isinstance(version, int) or version < 1:
+        raise ValueError(f"invalid codec_version {version!r}")
+    if version > FLEET_CODEC_VERSION:
+        raise ValueError(
+            f"payload written by fleet codec version {version}, but this "
+            f"library only understands versions <= {FLEET_CODEC_VERSION}; "
+            "upgrade to read it"
+        )
+    state = payload.get("state")
+    if not isinstance(state, dict):
+        raise ValueError("payload has no 'state' object")
+    algorithm = payload.get("algorithm")
+    if algorithm != state.get("name"):
+        raise ValueError(
+            f"envelope algorithm {algorithm!r} does not match the snapshot's "
+            f"name {state.get('name')!r}; the payload was edited or corrupted"
+        )
+    if algorithm == "fleet":
+        # A whole sharded deployment (one matrix snapshot per shard inside).
+        from repro.pipeline.fleet import FleetCounter
+
+        return FleetCounter.from_state_dict(state)
+    from repro.fleet import matrix_from_state
+
+    return matrix_from_state(state)
+
+
+def _is_fleet_object(obj) -> bool:
+    """Whether ``obj`` snapshots through the fleet envelope (lazy imports)."""
+    from repro.fleet import SketchMatrix
+    from repro.pipeline.fleet import FleetCounter
+
+    return isinstance(obj, (SketchMatrix, FleetCounter))
+
+
 def dumps(sketch) -> str:
-    """Serialise a sketch to a JSON string."""
+    """Serialise a sketch, matrix or fleet counter to a JSON string."""
+    if _is_fleet_object(sketch):
+        return json.dumps(fleet_to_payload(sketch), sort_keys=True)
     return json.dumps(to_payload(sketch), sort_keys=True)
 
 
 def loads(text: str):
-    """Rebuild a sketch from :func:`dumps` output."""
-    return from_payload(json.loads(text))
+    """Rebuild a sketch, matrix or fleet counter from :func:`dumps` output."""
+    payload = json.loads(text)
+    if isinstance(payload, dict) and payload.get("format") == FLEET_FORMAT:
+        return fleet_from_payload(payload)
+    return from_payload(payload)
 
 
 def dump(sketch, path: str | Path) -> Path:
-    """Write a sketch snapshot to ``path``; returns the path."""
+    """Write a sketch / matrix / fleet snapshot to ``path``; returns the path."""
     destination = Path(path)
     destination.write_text(dumps(sketch) + "\n", encoding="utf-8")
     return destination

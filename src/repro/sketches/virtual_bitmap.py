@@ -20,6 +20,7 @@ import numpy as np
 
 from repro.hashing.family import HashFamily, MixerHashFamily, hash_family_from_config
 from repro.sketches.base import DistinctCounter, pack_bool_array, unpack_bool_array
+from repro.sketches.linear_counting import linear_counting_estimate
 
 __all__ = ["VirtualBitmap"]
 
@@ -107,11 +108,15 @@ class VirtualBitmap(DistinctCounter):
         self._bits[buckets.astype(np.intp)] = True
 
     def estimate(self) -> float:
-        """Scaled linear-counting estimate ``(1/r) m ln(m / Z)``."""
-        empty = int(self.num_bits - np.count_nonzero(self._bits))
-        if empty == 0:
-            return self.num_bits * math.log(self.num_bits) / self.sampling_rate
-        return self.num_bits * math.log(self.num_bits / empty) / self.sampling_rate
+        """Scaled linear-counting estimate ``(1/r) m ln(m / Z)``.
+
+        Shares :func:`~repro.sketches.linear_counting.
+        linear_counting_estimate` with the model-level simulators and the
+        fleet backend (:class:`repro.fleet.VirtualBitmapMatrix`), so the
+        streaming, simulated and matrix paths decode bit-identically.
+        """
+        estimate = linear_counting_estimate(self.num_bits, self.occupied)
+        return float(estimate) / self.sampling_rate
 
     def memory_bits(self) -> int:
         """The bitmap itself: ``m`` bits."""

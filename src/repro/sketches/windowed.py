@@ -23,6 +23,8 @@ from __future__ import annotations
 from collections import OrderedDict
 from dataclasses import dataclass
 
+import numpy as np
+
 from repro.sketches.base import DistinctCounter, NotMergeableError, create_sketch
 
 __all__ = ["IntervalReport", "TumblingWindowCounter", "SlidingWindowCounter"]
@@ -65,8 +67,8 @@ class TumblingWindowCounter:
         self._items_in_interval = 0
         self._closed: list[IntervalReport] = []
 
-    def add(self, interval: int, item: object) -> None:
-        """Add one item observed during ``interval``.
+    def _rotate_to(self, interval: int) -> DistinctCounter:
+        """Close earlier intervals and return the sketch of ``interval``.
 
         Intervals must be fed in non-decreasing order; moving to a later
         interval closes every earlier one.
@@ -87,8 +89,26 @@ class TumblingWindowCounter:
             )
             self._items_in_interval = 0
         assert self._current_sketch is not None
-        self._current_sketch.add(item)
+        return self._current_sketch
+
+    def add(self, interval: int, item: object) -> None:
+        """Add one item observed during ``interval``."""
+        self._rotate_to(interval).add(item)
         self._items_in_interval += 1
+
+    def update_batch(self, interval: int, items) -> None:
+        """Ingest a chunk observed during ``interval`` (vectorised).
+
+        Passes the chunk straight to the interval sketch's ``update_batch``
+        fast path, so per-minute chunked readers (or array-native streams)
+        keep their throughput; state is identical to per-item :meth:`add`
+        of the same chunk (the sketch-level ``update_batch`` contract).
+        """
+        if not isinstance(items, np.ndarray):
+            items = list(items)
+        sketch = self._rotate_to(interval)
+        sketch.update_batch(items)
+        self._items_in_interval += len(items)
 
     def _close_current(self) -> None:
         if self._current_interval is None or self._current_sketch is None:
@@ -154,8 +174,7 @@ class SlidingWindowCounter:
         self.seed = seed
         self._per_interval: OrderedDict[int, DistinctCounter] = OrderedDict()
 
-    def add(self, interval: int, item: object) -> None:
-        """Add one item observed during ``interval`` (any order of intervals)."""
+    def _sketch_for(self, interval: int) -> DistinctCounter:
         sketch = self._per_interval.get(interval)
         if sketch is None:
             # Every interval must use the SAME hash seed, otherwise merging
@@ -165,7 +184,19 @@ class SlidingWindowCounter:
             )
             self._per_interval[interval] = sketch
             self._evict(interval)
-        sketch.add(item)
+        return sketch
+
+    def add(self, interval: int, item: object) -> None:
+        """Add one item observed during ``interval`` (any order of intervals)."""
+        self._sketch_for(interval).add(item)
+
+    def update_batch(self, interval: int, items) -> None:
+        """Ingest a chunk observed during ``interval`` through the fast path.
+
+        State is identical to per-item :meth:`add` of the same chunk (the
+        sketch-level ``update_batch`` contract).
+        """
+        self._sketch_for(interval).update_batch(items)
 
     def _evict(self, latest_interval: int) -> None:
         cutoff = latest_interval - 4 * self.window

@@ -1,0 +1,128 @@
+"""Smoke test of the fleet benchmark artifact generation and its floor.
+
+``benchmarks/run_bench_fleet.py`` writes ``BENCH_fleet.json``, the
+committed record of the multi-key matrix subsystem's speedup over a
+per-sketch object fleet on the 600-link backbone workload.  This tier-1
+smoke invocation runs the suite at a tiny scale (validating the payload
+shape and the bit-identity assertion wired into it) and pins the committed
+artifact's speedup floor, so the headline claim of the fleet subsystem
+cannot silently rot.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+#: The committed artifact must show at least this matrix speedup over the
+#: per-record object loop for every tracked algorithm (the PR's acceptance
+#: floor; the measured full-scale numbers are 15-50x).
+SPEEDUP_FLOOR = 10.0
+
+
+@pytest.fixture(scope="module")
+def run_bench_fleet():
+    spec = importlib.util.spec_from_file_location(
+        "run_bench_fleet", REPO_ROOT / "benchmarks" / "run_bench_fleet.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    sys.modules.setdefault("run_bench_fleet", module)
+    spec.loader.exec_module(module)
+    return module
+
+
+def test_run_suite_payload_shape(run_bench_fleet):
+    payload = run_bench_fleet.run_suite(
+        algorithms=("sbitmap", "hyperloglog"),
+        num_links=30,
+        total_records=20_000,
+        memory_bits=2_048,
+        n_max=100_000,
+        chunk_size=4_096,
+    )
+    assert payload["suite"] == "fleet_matrix"
+    assert payload["cpu_count"] >= 1
+    assert payload["config"]["num_links"] <= 30
+    assert payload["config"]["num_records"] > 0
+    assert set(payload["results"]) == {"sbitmap", "hyperloglog"}
+    for row in payload["results"].values():
+        for path in ("matrix", "object_loop", "object_batch"):
+            assert row[path]["records_per_sec"] > 0
+        assert row["speedup_vs_object_loop"] > 0
+        assert row["speedup_vs_object_batch"] > 0
+        # run_suite itself asserts bit-identity before recording anything.
+        assert row["estimates_bit_identical"] is True
+        assert row["median_abs_relative_error"] < 0.25
+
+
+def test_workload_is_deterministic_and_scaled(run_bench_fleet):
+    counts_a, chunks_a = run_bench_fleet.build_workload(
+        num_links=20, total_records=10_000, seed=3
+    )
+    counts_b, chunks_b = run_bench_fleet.build_workload(
+        num_links=20, total_records=10_000, seed=3
+    )
+    assert (counts_a == counts_b).all()
+    assert len(chunks_a) == len(chunks_b)
+    for (groups_a, keys_a), (groups_b, keys_b) in zip(chunks_a, chunks_b):
+        assert (groups_a == groups_b).all()
+        assert (keys_a == keys_b).all()
+    num_records = sum(groups.size for groups, _ in chunks_a)
+    assert 0.5 * 10_000 < num_records < 2.0 * 10_000
+
+
+def test_cli_writes_artifact(run_bench_fleet, tmp_path, capsys):
+    output = tmp_path / "bench_fleet.json"
+    exit_code = run_bench_fleet.main(
+        [
+            "--links",
+            "20",
+            "--records",
+            "10000",
+            "--memory-bits",
+            "1024",
+            "--n-max",
+            "50000",
+            "--algorithms",
+            "hyperloglog",
+            "--output",
+            str(output),
+        ]
+    )
+    assert exit_code == 0
+    payload = json.loads(output.read_text())
+    assert "hyperloglog" in payload["results"]
+    assert "object loop" in capsys.readouterr().out
+
+
+def test_committed_artifact_meets_speedup_floor(run_bench_fleet):
+    """The committed artifact must exist, be full-scale, and clear 10x."""
+    artifact = REPO_ROOT / "BENCH_fleet.json"
+    assert artifact.exists(), (
+        "BENCH_fleet.json missing at the repo root; regenerate with "
+        "`PYTHONPATH=src python benchmarks/run_bench_fleet.py`"
+    )
+    payload = json.loads(artifact.read_text())
+    assert payload["suite"] == "fleet_matrix"
+    config = payload["config"]
+    assert config["num_links"] >= 500, (
+        "committed artifact was generated at a reduced link count"
+    )
+    assert config["num_records"] >= 1_000_000, (
+        "committed artifact was generated at a reduced record budget"
+    )
+    for algorithm in run_bench_fleet.DEFAULT_ALGORITHMS:
+        assert algorithm in payload["results"], algorithm
+        row = payload["results"][algorithm]
+        assert row["estimates_bit_identical"] is True
+        assert row["speedup_vs_object_loop"] >= SPEEDUP_FLOOR, (
+            f"{algorithm}: committed matrix speedup "
+            f"{row['speedup_vs_object_loop']:.1f}x is below the "
+            f"{SPEEDUP_FLOOR:.0f}x floor"
+        )

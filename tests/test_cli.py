@@ -264,3 +264,141 @@ class TestSketchesCommand:
         output = capsys.readouterr().out
         assert "sbitmap" in output
         assert "hyperloglog" in output
+
+
+class TestGroupedCount:
+    """``count --group-by COL``: per-key estimates from a CSV flow log."""
+
+    @staticmethod
+    def _write_flow_log(path, num_minutes=3, flows_per_minute=50):
+        lines = ["minute,src_ip,dst_ip,dst_port"]
+        for minute in range(num_minutes):
+            for flow in range(flows_per_minute):
+                row = f"{minute},10.0.{minute}.{flow},192.168.0.1,443"
+                lines.append(row)
+                lines.append(row)  # duplicate packet of the same flow
+        path.write_text("\n".join(lines) + "\n")
+
+    def test_per_group_estimates_with_exact(self, tmp_path, capsys):
+        path = tmp_path / "flows.csv"
+        self._write_flow_log(path)
+        exit_code = main(
+            [
+                "count",
+                str(path),
+                "--group-by",
+                "minute",
+                "--exact",
+                "--algorithm",
+                "hyperloglog",
+                "--memory-bits",
+                "2048",
+                "--n-max",
+                "100000",
+            ]
+        )
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "group" in output and "exact" in output
+        # One row per minute, each with the exact distinct flow count of 50.
+        data_rows = [
+            line
+            for line in output.splitlines()
+            if line.strip() and line.strip()[0].isdigit()
+        ]
+        assert len(data_rows) == 3
+        for line in data_rows:
+            assert " 50 " in f" {line} "
+
+    def test_grouped_count_with_shards(self, tmp_path, capsys):
+        path = tmp_path / "flows.csv"
+        self._write_flow_log(path, num_minutes=2)
+        exit_code = main(
+            [
+                "count",
+                str(path),
+                "--group-by",
+                "minute",
+                "--shards",
+                "2",
+                "--exact",
+                "--memory-bits",
+                "2048",
+                "--n-max",
+                "100000",
+            ]
+        )
+        assert exit_code == 0
+        assert "group" in capsys.readouterr().out
+
+    def test_key_columns_subset(self, tmp_path, capsys):
+        path = tmp_path / "flows.csv"
+        # Same src_ip repeated across ports: keying on src_ip alone collapses.
+        path.write_text(
+            "minute,src_ip,dst_port\n"
+            "0,10.0.0.1,80\n"
+            "0,10.0.0.1,443\n"
+            "0,10.0.0.2,80\n"
+        )
+        exit_code = main(
+            [
+                "count",
+                str(path),
+                "--group-by",
+                "minute",
+                "--key-columns",
+                "src_ip",
+                "--exact",
+            ]
+        )
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert " 2 " in output  # two distinct src_ips, not three rows
+
+    def test_unknown_group_column_fails_loudly(self, tmp_path):
+        path = tmp_path / "flows.csv"
+        path.write_text("a,b\n1,2\n")
+        with pytest.raises(SystemExit, match="--group-by"):
+            main(["count", str(path), "--group-by", "nope"])
+
+    def test_unknown_key_column_fails_loudly(self, tmp_path):
+        path = tmp_path / "flows.csv"
+        path.write_text("a,b\n1,2\n")
+        with pytest.raises(SystemExit, match="key-columns"):
+            main(["count", str(path), "--group-by", "a", "--key-columns", "zz"])
+
+    def test_group_by_rejects_jobs(self, tmp_path):
+        path = tmp_path / "flows.csv"
+        path.write_text("a,b\n1,2\n")
+        with pytest.raises(SystemExit, match="--jobs"):
+            main(
+                [
+                    "count",
+                    str(path),
+                    "--group-by",
+                    "a",
+                    "--shards",
+                    "2",
+                    "--jobs",
+                    "2",
+                ]
+            )
+
+    def test_single_column_csv_needs_explicit_keys(self, tmp_path):
+        path = tmp_path / "flows.csv"
+        path.write_text("a\n1\n")
+        with pytest.raises(SystemExit, match="key columns"):
+            main(["count", str(path), "--group-by", "a"])
+
+    def test_empty_csv(self, tmp_path, capsys):
+        path = tmp_path / "flows.csv"
+        path.write_text("minute,src\n")
+        exit_code = main(["count", str(path), "--group-by", "minute"])
+        assert exit_code == 0
+        assert "no data rows" in capsys.readouterr().out
+
+    def test_group_by_rejects_non_fleet_algorithms(self, tmp_path):
+        path = tmp_path / "flows.csv"
+        path.write_text("a,b\n1,2\n")
+        with pytest.raises(SystemExit, match="fleet"):
+            main(["count", str(path), "--group-by", "a", "--algorithm", "kmv"])

@@ -243,3 +243,77 @@ class TestTraceExperiments:
         assert "Figure 8" in figure8.format_result(
             figure8.run(num_links=100, seed=18)
         )
+
+
+class TestFleetModes:
+    """Figures 7/8 re-driven through the multi-key matrix subsystem."""
+
+    @staticmethod
+    def _small_generator(seed: int):
+        from repro.streams.network import BackboneSnapshotGenerator
+
+        return BackboneSnapshotGenerator(
+            num_links=50, seed=seed, median_flows=300.0, log_sigma=1.2
+        )
+
+    def test_figure7_default_mode_unchanged_by_fleet_support(self):
+        baseline = figure7.run(seed=13)
+        explicit = figure7.run(seed=13, mode="snapshot")
+        np.testing.assert_array_equal(baseline.flow_counts, explicit.flow_counts)
+        np.testing.assert_array_equal(baseline.quantiles, explicit.quantiles)
+        assert explicit.estimated_counts is None
+
+    def test_figure7_fleet_mode_estimates_track_truth(self):
+        generator = self._small_generator(seed=21)
+        result = figure7.run(
+            seed=21,
+            mode="fleet",
+            memory_bits=4_000,
+            n_max=200_000,
+            generator=generator,
+        )
+        assert result.mode == "fleet"
+        assert result.estimated_counts is not None
+        assert result.estimated_counts.shape == result.flow_counts.shape
+        errors = np.abs(result.estimated_counts / result.flow_counts - 1.0)
+        assert float(np.median(errors)) < 0.15
+        assert "fleet estimates" in figure7.format_result(result)
+
+    def test_figure7_rejects_unknown_mode(self):
+        with pytest.raises(ValueError, match="mode"):
+            figure7.run(mode="banana")
+
+    def test_figure8_fleet_mode_reproduces_the_ranking(self):
+        from repro.experiments.trace_utils import estimate_each
+        from repro.streams.network import BackboneSnapshotGenerator
+
+        counts = BackboneSnapshotGenerator(
+            num_links=60, seed=23, median_flows=200.0, log_sigma=1.0
+        ).true_counts()
+        memory_bits, n_max = 4_000, 100_000
+        sbitmap = estimate_each(
+            "sbitmap", memory_bits, n_max, counts, seed=3, mode="fleet"
+        )
+        loglog = estimate_each(
+            "loglog", memory_bits, n_max, counts, seed=3, mode="fleet"
+        )
+        assert sbitmap.shape == counts.shape
+        sbitmap_errors = np.abs(sbitmap / counts - 1.0)
+        loglog_errors = np.abs(loglog / counts - 1.0)
+        assert float(np.median(sbitmap_errors)) < 0.1
+        # LogLog at the same memory is visibly worse (the Figure 8 finding).
+        assert np.median(loglog_errors) > np.median(sbitmap_errors)
+
+    def test_fleet_mode_falls_back_for_mr_bitmap(self):
+        from repro.experiments.trace_utils import estimate_each
+
+        counts = np.array([500, 800, 300])
+        fleet = estimate_each("mr_bitmap", 4_000, 100_000, counts, seed=5, mode="fleet")
+        stream = estimate_each("mr_bitmap", 4_000, 100_000, counts, seed=5, mode="stream")
+        np.testing.assert_array_equal(fleet, stream)
+
+    def test_estimate_each_rejects_unknown_mode(self):
+        from repro.experiments.trace_utils import estimate_each
+
+        with pytest.raises(ValueError, match="fleet"):
+            estimate_each("sbitmap", 4_000, 100_000, np.array([10]), mode="bogus")

@@ -1,0 +1,330 @@
+"""Fleet matrix backends: per-row bit-identity, decoding, codec round-trips.
+
+The defining contract of :mod:`repro.fleet` (its module docstring): every
+row of a :class:`~repro.fleet.SketchMatrix` is bit-identical -- state and
+estimate -- to a standalone sketch built with the spawned per-row hash
+family and fed the same per-key substream.  These tests enforce it for
+every registered backend, against both the standalone ``update_batch`` fast
+path and plain sequential ``add``, plus the serialization round-trip
+through the versioned ``repro/fleet`` codec.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import serialize
+from repro.core.dimensioning import SBitmapDesign
+from repro.core.sbitmap import SBitmap
+from repro.fleet import (
+    SBitmapMatrix,
+    available_matrices,
+    create_matrix,
+    matrix_from_state,
+)
+from repro.hashing.arrays import (
+    grouped_hash64_array,
+    mixer_seed_mix_array,
+    spawn_seed_array,
+)
+from repro.hashing.family import MixerHashFamily
+from repro.sketches.base import NotMergeableError, create_sketch
+
+ALL_MATRICES = sorted(available_matrices())
+
+MEMORY_BITS = 2_048
+N_MAX = 100_000
+NUM_KEYS = 5
+
+# Grouped streams: aligned (group, key) observations with heavy duplication.
+grouped_streams = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=NUM_KEYS - 1),
+        st.integers(min_value=0, max_value=400),
+    ),
+    max_size=400,
+)
+
+
+def _standalone_row(algorithm: str, group: int, seed: int):
+    """The standalone sketch a matrix row must be bit-identical to."""
+    base = MixerHashFamily(seed)
+    if algorithm == "sbitmap":
+        return SBitmap(
+            SBitmapDesign.from_memory(MEMORY_BITS, N_MAX),
+            hash_family=base.spawn(group),
+        )
+    sketch = create_sketch(algorithm, MEMORY_BITS, N_MAX, seed=0)
+    sketch._hash = base.spawn(group)
+    return sketch
+
+
+def _split(pairs):
+    groups = np.array([group for group, _ in pairs], dtype=np.int64)
+    keys = np.array([key for _, key in pairs], dtype=np.uint64)
+    return groups, keys
+
+
+class TestGroupedHashing:
+    """The grouped helpers reproduce ``spawn`` / ``MixerHashFamily`` exactly."""
+
+    def test_spawn_seed_array_matches_scalar_spawn(self):
+        base = MixerHashFamily(12345)
+        seeds = spawn_seed_array(12345, 20)
+        for index in range(20):
+            assert int(seeds[index]) == base.spawn(index).seed
+
+    @pytest.mark.parametrize("mixer", ["splitmix64", "murmur"])
+    def test_grouped_hash_matches_per_row_families(self, mixer):
+        base = MixerHashFamily(7, mixer=mixer)
+        num_rows = 6
+        row_mixes = mixer_seed_mix_array(spawn_seed_array(7, num_rows))
+        rng = np.random.default_rng(0)
+        groups = rng.integers(0, num_rows, size=200)
+        keys = rng.integers(0, 2**63, size=200).astype(np.uint64)
+        values = grouped_hash64_array(keys, row_mixes[groups], mixer)
+        for row in range(num_rows):
+            mask = groups == row
+            expected = base.spawn(row).hash64_array(keys[mask])
+            np.testing.assert_array_equal(values[mask], expected)
+
+    def test_grouped_hash_rejects_misaligned_inputs(self):
+        with pytest.raises(ValueError, match="aligned"):
+            grouped_hash64_array(
+                np.zeros(3, dtype=np.uint64), np.zeros(2, dtype=np.uint64)
+            )
+        with pytest.raises(ValueError, match="unknown mixer"):
+            grouped_hash64_array(
+                np.zeros(2, dtype=np.uint64), np.zeros(2, dtype=np.uint64), "md5"
+            )
+
+    def test_negative_seed_matches_scalar(self):
+        base = MixerHashFamily(-99)
+        seeds = spawn_seed_array(-99, 5)
+        for index in range(5):
+            assert int(seeds[index]) == base.spawn(index).seed
+
+
+@pytest.mark.parametrize("algorithm", ALL_MATRICES)
+@settings(max_examples=12, deadline=None)
+@given(pairs=grouped_streams)
+def test_rows_bit_identical_to_standalone_sketches(algorithm, pairs):
+    """Grouped ingestion == per-row standalone update_batch == sequential add."""
+    matrix = create_matrix(algorithm, NUM_KEYS, MEMORY_BITS, N_MAX, seed=3)
+    groups, keys = _split(pairs)
+    # Two chunks, to exercise cross-chunk state evolution.
+    half = groups.size // 2
+    matrix.update_grouped(groups[:half], keys[:half])
+    matrix.update_grouped(groups[half:], keys[half:])
+    estimates = matrix.estimates()
+    assert estimates.shape == (NUM_KEYS,)
+    for group in range(NUM_KEYS):
+        substream = keys[groups == group]
+        batched = _standalone_row(algorithm, group, seed=3)
+        batched.update_batch(substream)
+        sequential = _standalone_row(algorithm, group, seed=3)
+        for key in substream.tolist():
+            sequential.add(key)
+        row = matrix.row_sketch(group)
+        assert row.estimate() == batched.estimate() == sequential.estimate()
+        assert float(estimates[group]) == batched.estimate()
+        assert row.state_dict() == batched.state_dict()
+        assert matrix.items_seen[group] == substream.size
+
+
+@pytest.mark.parametrize("algorithm", ALL_MATRICES)
+@settings(max_examples=10, deadline=None)
+@given(pairs=grouped_streams, extra=grouped_streams)
+def test_fleet_codec_round_trip_is_lossless(algorithm, pairs, extra):
+    """Snapshot -> JSON -> restore preserves estimates, memory and evolution."""
+    matrix = create_matrix(algorithm, NUM_KEYS, MEMORY_BITS, N_MAX, seed=11)
+    matrix.update_grouped(*_split(pairs))
+
+    restored = serialize.loads(serialize.dumps(matrix))
+
+    assert type(restored) is type(matrix)
+    np.testing.assert_array_equal(restored.estimates(), matrix.estimates())
+    assert restored.memory_bits() == matrix.memory_bits()
+    np.testing.assert_array_equal(restored.items_seen, matrix.items_seen)
+    # Identical evolution under further grouped ingestion.
+    matrix.update_grouped(*_split(extra))
+    restored.update_grouped(*_split(extra))
+    assert restored.state_dict() == matrix.state_dict()
+
+
+class TestMatrixBehaviour:
+    @pytest.mark.parametrize("algorithm", ALL_MATRICES)
+    def test_empty_chunk_is_a_no_op(self, algorithm):
+        matrix = create_matrix(algorithm, 3, MEMORY_BITS, N_MAX, seed=1)
+        before = matrix.state_dict()
+        matrix.update_grouped(np.array([], dtype=np.int64), np.array([], dtype=np.uint64))
+        assert matrix.state_dict() == before
+
+    @pytest.mark.parametrize("algorithm", ALL_MATRICES)
+    def test_add_scalar_path_matches_grouped(self, algorithm):
+        grouped = create_matrix(algorithm, 3, MEMORY_BITS, N_MAX, seed=2)
+        scalar = create_matrix(algorithm, 3, MEMORY_BITS, N_MAX, seed=2)
+        rng = np.random.default_rng(5)
+        groups = rng.integers(0, 3, size=100)
+        keys = rng.integers(0, 50, size=100).astype(np.uint64)
+        grouped.update_grouped(groups, keys)
+        for group, key in zip(groups.tolist(), keys.tolist()):
+            scalar.add(group, key)
+        assert scalar.state_dict() == grouped.state_dict()
+
+    @pytest.mark.parametrize("algorithm", ALL_MATRICES)
+    def test_arbitrary_items_hash_like_standalone(self, algorithm):
+        """String/tuple items canonicalise identically in both paths."""
+        matrix = create_matrix(algorithm, 2, MEMORY_BITS, N_MAX, seed=6)
+        items = ["flow-a", ("10.0.0.1", 80), b"payload", 3.25, 17]
+        matrix.update_grouped([0, 1, 0, 1, 0], items)
+        for group in range(2):
+            reference = _standalone_row(algorithm, group, seed=6)
+            reference.update(
+                [item for item, g in zip(items, [0, 1, 0, 1, 0]) if g == group]
+            )
+            assert matrix.row_sketch(group).state_dict() == reference.state_dict()
+
+    @pytest.mark.parametrize("algorithm", ALL_MATRICES)
+    def test_grow_preserves_existing_rows(self, algorithm):
+        matrix = create_matrix(algorithm, 2, MEMORY_BITS, N_MAX, seed=4)
+        rng = np.random.default_rng(8)
+        groups = rng.integers(0, 2, size=300)
+        keys = rng.integers(0, 200, size=300).astype(np.uint64)
+        matrix.update_grouped(groups, keys)
+        before = [matrix.row_sketch(g).state_dict() for g in range(2)]
+        matrix.grow(5)
+        assert matrix.num_keys == 5
+        for group in range(2):
+            assert matrix.row_sketch(group).state_dict() == before[group]
+        # New rows behave exactly like rows of a matrix born with 5 keys.
+        fresh = create_matrix(algorithm, 5, MEMORY_BITS, N_MAX, seed=4)
+        matrix.update_grouped([4], [123])
+        fresh.update_grouped(groups, keys)
+        fresh.update_grouped([4], [123])
+        assert matrix.state_dict() == fresh.state_dict()
+        with pytest.raises(ValueError, match="shrink"):
+            matrix.grow(3)
+
+    @pytest.mark.parametrize("algorithm", ALL_MATRICES)
+    def test_group_validation(self, algorithm):
+        matrix = create_matrix(algorithm, 2, MEMORY_BITS, N_MAX, seed=0)
+        with pytest.raises(IndexError):
+            matrix.update_grouped([2], [1])
+        with pytest.raises(IndexError):
+            matrix.update_grouped([-1], [1])
+        with pytest.raises(ValueError, match="aligned"):
+            matrix.update_grouped([0, 1], [1])
+        with pytest.raises(TypeError, match="integers"):
+            matrix.update_grouped(np.array([0.5]), [1])
+        with pytest.raises(IndexError):
+            matrix.estimate(2)
+
+    def test_unknown_backend(self):
+        with pytest.raises(KeyError, match="unknown matrix backend"):
+            create_matrix("mr_bitmap", 2, MEMORY_BITS, N_MAX)
+
+    def test_rejects_unknown_mixer(self):
+        with pytest.raises(ValueError, match="unknown mixer"):
+            create_matrix("hyperloglog", 2, MEMORY_BITS, N_MAX, mixer="md5")
+
+
+class TestMerge:
+    MERGEABLE = [name for name in ALL_MATRICES if name != "sbitmap"]
+
+    @pytest.mark.parametrize("algorithm", MERGEABLE)
+    def test_merge_is_bit_identical_to_union_stream(self, algorithm):
+        rng = np.random.default_rng(9)
+        groups_a = rng.integers(0, 4, size=500)
+        keys_a = rng.integers(0, 300, size=500).astype(np.uint64)
+        groups_b = rng.integers(0, 4, size=500)
+        keys_b = rng.integers(100, 500, size=500).astype(np.uint64)
+        left = create_matrix(algorithm, 4, MEMORY_BITS, N_MAX, seed=5)
+        right = create_matrix(algorithm, 4, MEMORY_BITS, N_MAX, seed=5)
+        union = create_matrix(algorithm, 4, MEMORY_BITS, N_MAX, seed=5)
+        left.update_grouped(groups_a, keys_a)
+        right.update_grouped(groups_b, keys_b)
+        union.update_grouped(
+            np.concatenate([groups_a, groups_b]), np.concatenate([keys_a, keys_b])
+        )
+        left.merge(right)
+        assert left.state_dict() == union.state_dict()
+
+    @pytest.mark.parametrize("algorithm", MERGEABLE)
+    def test_merge_rejects_mismatched_configuration(self, algorithm):
+        left = create_matrix(algorithm, 4, MEMORY_BITS, N_MAX, seed=5)
+        with pytest.raises(ValueError):
+            left.merge(create_matrix(algorithm, 3, MEMORY_BITS, N_MAX, seed=5))
+        with pytest.raises(ValueError):
+            left.merge(create_matrix(algorithm, 4, MEMORY_BITS, N_MAX, seed=6))
+
+    def test_sbitmap_matrix_is_not_mergeable(self):
+        left = create_matrix("sbitmap", 2, MEMORY_BITS, N_MAX, seed=0)
+        right = create_matrix("sbitmap", 2, MEMORY_BITS, N_MAX, seed=0)
+        with pytest.raises(NotMergeableError):
+            left.merge(right)
+
+
+class TestSBitmapMatrixSpecifics:
+    def test_from_error_dimensioning(self):
+        matrix = SBitmapMatrix.from_error(3, N_MAX, 0.05, seed=1)
+        assert matrix.design.rrmse <= 0.05
+        single = SBitmap.from_error(N_MAX, 0.05)
+        assert matrix.design == single.design
+
+    def test_saturation_is_handled(self):
+        """Overfilling a tiny design must clamp, exactly like the standalone."""
+        design = SBitmapDesign.from_memory(64, 500)
+        matrix = SBitmapMatrix(2, design, seed=2)
+        reference = SBitmap(design, hash_family=MixerHashFamily(2).spawn(0))
+        keys = np.arange(5_000, dtype=np.uint64)
+        groups = np.zeros(5_000, dtype=np.int64)
+        matrix.update_grouped(groups, keys)
+        reference.update_batch(keys)
+        assert int(matrix.fill_counts[0]) == reference.fill_count
+        assert matrix.row_sketch(0).state_dict() == reference.state_dict()
+        assert bool(matrix.saturated_rows[0]) == reference.saturated
+
+    def test_snapshot_validation_rejects_corruption(self):
+        matrix = SBitmapMatrix.from_memory(2, MEMORY_BITS, N_MAX, seed=3)
+        matrix.update_grouped([0, 1, 0], [1, 2, 3])
+        state = matrix.state_dict()
+        tampered = dict(state, precision=state["precision"] * 1.5)
+        with pytest.raises(ValueError, match="precision"):
+            SBitmapMatrix.from_state_dict(tampered)
+        tampered = dict(state, fills=[0] * 2)
+        with pytest.raises(ValueError, match="fills|popcount"):
+            SBitmapMatrix.from_state_dict(tampered)
+
+
+class TestFleetCodecEnvelope:
+    def test_rejects_wrong_format(self):
+        with pytest.raises(ValueError, match="repro/fleet"):
+            serialize.fleet_from_payload({"format": "repro/sketch"})
+
+    def test_rejects_newer_codec_version(self):
+        matrix = create_matrix("hyperloglog", 2, MEMORY_BITS, N_MAX)
+        payload = serialize.fleet_to_payload(matrix)
+        payload["codec_version"] = serialize.FLEET_CODEC_VERSION + 1
+        with pytest.raises(ValueError, match="codec version"):
+            serialize.fleet_from_payload(payload)
+
+    def test_rejects_name_mismatch(self):
+        matrix = create_matrix("hyperloglog", 2, MEMORY_BITS, N_MAX)
+        payload = serialize.fleet_to_payload(matrix)
+        payload["algorithm"] = "loglog"
+        with pytest.raises(ValueError, match="does not match"):
+            serialize.fleet_from_payload(payload)
+
+    def test_matrix_from_state_requires_name(self):
+        with pytest.raises(ValueError, match="name"):
+            matrix_from_state({"num_keys": 2})
+
+    def test_sketch_codec_still_loads_sketches(self):
+        sketch = create_sketch("hyperloglog", MEMORY_BITS, N_MAX, seed=1)
+        sketch.update(["a", "b", "c"])
+        restored = serialize.loads(serialize.dumps(sketch))
+        assert restored.estimate() == sketch.estimate()

@@ -167,3 +167,40 @@ class TestConfigValidation:
         state["shards"] = state["shards"][:1]
         with pytest.raises(ValueError, match="shards"):
             ShardedCounter.from_state_dict(state)
+
+
+class TestBufferedUpdate:
+    """``update`` buffers iterables into key arrays and uses ``update_batch``."""
+
+    @pytest.mark.parametrize("algorithm", ["sbitmap", "hyperloglog"])
+    def test_update_matches_per_item_add(self, algorithm):
+        buffered = ShardedCounter(algorithm, 2_048, 50_000, num_shards=3, seed=4)
+        reference = ShardedCounter(algorithm, 2_048, 50_000, num_shards=3, seed=4)
+        items = [f"flow-{i % 700}" for i in range(2_000)] + [("t", i % 50) for i in range(500)]
+        buffered.update(items)
+        for item in items:
+            reference.add(item)
+        assert buffered.items_seen == reference.items_seen == len(items)
+        assert buffered.state_dict() == reference.state_dict()
+
+    def test_update_accepts_lazy_generators_and_arrays(self):
+        counter = ShardedCounter("hyperloglog", 1_024, 10_000, num_shards=2, seed=1)
+        counter.update(f"k{i}" for i in range(1_000))
+        counter.update(np.arange(500, dtype=np.uint64))
+        assert counter.items_seen == 1_500
+
+    def test_update_buffers_in_bounded_chunks(self, monkeypatch):
+        from repro.pipeline import sharded
+
+        calls = []
+        counter = ShardedCounter("hyperloglog", 1_024, 10_000, num_shards=2, seed=2)
+        original = counter.update_batch
+
+        def spy(chunk):
+            calls.append(len(chunk))
+            return original(chunk)
+
+        monkeypatch.setattr(counter, "update_batch", spy)
+        monkeypatch.setattr(sharded, "UPDATE_BUFFER_ITEMS", 256)
+        counter.update(f"k{i}" for i in range(1_000))
+        assert calls == [256, 256, 256, 232]

@@ -173,3 +173,105 @@ class TestBackboneSnapshotGenerator:
             BackboneSnapshotGenerator(num_links=10, median_flows=-1)
         with pytest.raises(ValueError):
             BackboneSnapshotGenerator(num_links=10, min_flows=100, max_flows=50)
+
+
+class TestGroupedFlowKeyChunks:
+    def _collect(self, **kwargs):
+        from repro.streams.network import grouped_flow_key_chunks
+
+        groups = []
+        keys = []
+        for group_chunk, key_chunk in grouped_flow_key_chunks(**kwargs):
+            groups.append(group_chunk)
+            keys.append(key_chunk)
+        if not groups:
+            return (
+                np.array([], dtype=np.int64),
+                np.array([], dtype=np.uint64),
+            )
+        return np.concatenate(groups), np.concatenate(keys)
+
+    def test_per_group_distinct_counts_match(self):
+        counts = np.array([100, 1, 2_000, 40])
+        groups, keys = self._collect(counts=counts, seed_or_rng=3)
+        for group, expected in enumerate(counts):
+            distinct = np.unique(keys[groups == group]).size
+            assert distinct == expected
+
+    def test_keys_globally_distinct_across_groups(self):
+        counts = np.array([300, 300, 300])
+        groups, keys = self._collect(counts=counts, seed_or_rng=4)
+        assert np.unique(keys).size == counts.sum()
+
+    def test_duplication_matches_the_mean(self):
+        counts = np.array([2_000, 2_000])
+        groups, keys = self._collect(
+            counts=counts, seed_or_rng=5, mean_packets_per_flow=3.0
+        )
+        assert groups.size == pytest.approx(3.0 * counts.sum(), rel=0.1)
+
+    def test_chunks_are_bounded_and_aligned(self):
+        from repro.streams.network import grouped_flow_key_chunks
+
+        for group_chunk, key_chunk in grouped_flow_key_chunks(
+            np.array([50, 50]), seed_or_rng=6, chunk_size=32
+        ):
+            assert group_chunk.shape == key_chunk.shape
+            assert group_chunk.size <= 32
+
+    def test_deterministic_given_seed(self):
+        counts = np.array([40, 60])
+        a = self._collect(counts=counts, seed_or_rng=7)
+        b = self._collect(counts=counts, seed_or_rng=7)
+        np.testing.assert_array_equal(a[0], b[0])
+        np.testing.assert_array_equal(a[1], b[1])
+
+    def test_interleaves_groups(self):
+        # A shuffled multi-link stream should mix groups inside one chunk.
+        from repro.streams.network import grouped_flow_key_chunks
+
+        group_chunk, _ = next(
+            iter(grouped_flow_key_chunks(np.array([500, 500]), seed_or_rng=8))
+        )
+        assert np.unique(group_chunk).size == 2
+
+    def test_empty_counts_yield_nothing(self):
+        groups, keys = self._collect(counts=np.array([], dtype=np.int64), seed_or_rng=9)
+        assert groups.size == 0 and keys.size == 0
+        groups, keys = self._collect(counts=np.array([0, 0]), seed_or_rng=9)
+        assert groups.size == 0
+
+    def test_validation(self):
+        from repro.streams.network import grouped_flow_key_chunks
+
+        with pytest.raises(ValueError):
+            list(grouped_flow_key_chunks(np.array([-1])))
+        with pytest.raises(ValueError):
+            list(grouped_flow_key_chunks(np.array([1]), mean_packets_per_flow=0.5))
+        with pytest.raises(ValueError):
+            list(grouped_flow_key_chunks(np.array([1]), chunk_size=0))
+        with pytest.raises(ValueError):
+            list(grouped_flow_key_chunks(np.array([[1, 2]])))
+
+    def test_backbone_grouped_chunks_align_with_true_counts(self):
+        generator = BackboneSnapshotGenerator(
+            num_links=40, seed=11, median_flows=40.0, log_sigma=1.0
+        )
+        counts = generator.true_counts()
+        groups = []
+        keys = []
+        for group_chunk, key_chunk in generator.grouped_chunks(chunk_size=1 << 12):
+            groups.append(group_chunk)
+            keys.append(key_chunk)
+        groups = np.concatenate(groups)
+        keys = np.concatenate(keys)
+        for group, expected in enumerate(counts):
+            assert np.unique(keys[groups == group]).size == expected
+
+    def test_backbone_grouped_chunks_accept_scaled_counts(self):
+        generator = BackboneSnapshotGenerator(num_links=30, seed=12)
+        scaled = np.minimum(generator.true_counts(), 50)
+        total = 0
+        for group_chunk, _ in generator.grouped_chunks(counts=scaled):
+            total += group_chunk.size
+        assert total >= scaled.sum()

@@ -114,3 +114,62 @@ class TestSlidingWindow:
     def test_invalid_window(self):
         with pytest.raises(ValueError):
             SlidingWindowCounter(window=0)
+
+
+class TestWindowedBatchIngestion:
+    """``update_batch(interval, chunk)`` passes through the vectorised path."""
+
+    def test_tumbling_batch_state_matches_per_item(self):
+        import numpy as np
+
+        batched = TumblingWindowCounter(
+            algorithm="hyperloglog", memory_bits=2_048, n_max=10_000, seed=5
+        )
+        scalar = TumblingWindowCounter(
+            algorithm="hyperloglog", memory_bits=2_048, n_max=10_000, seed=5
+        )
+        rng = np.random.default_rng(0)
+        for interval in range(3):
+            chunk = rng.integers(0, 500, size=1_000).astype(np.uint64)
+            batched.update_batch(interval, chunk)
+            for key in chunk.tolist():
+                scalar.add(interval, key)
+        batched_reports = batched.flush()
+        scalar_reports = scalar.flush()
+        assert batched_reports == scalar_reports
+
+    def test_tumbling_batch_accepts_iterables(self):
+        counter = TumblingWindowCounter(memory_bits=1_024, n_max=5_000, seed=1)
+        counter.update_batch(0, (f"x{i}" for i in range(300)))
+        counter.update_batch(0, ["x0", "x1"])
+        reports = counter.flush()
+        assert reports[0].items_processed == 302
+        assert reports[0].estimate == pytest.approx(300, rel=0.25)
+
+    def test_tumbling_batch_rotates_and_rejects_regressions(self):
+        counter = TumblingWindowCounter(memory_bits=512, n_max=1_000, seed=2)
+        counter.update_batch(3, ["a", "b"])
+        counter.update_batch(5, ["c"])
+        with pytest.raises(ValueError):
+            counter.update_batch(4, ["d"])
+        assert [report.interval for report in counter.flush()] == [3, 5]
+
+    def test_sliding_batch_state_matches_per_item(self):
+        import numpy as np
+
+        batched = SlidingWindowCounter(
+            window=2, algorithm="linear_counting", memory_bits=4_096,
+            n_max=10_000, seed=7,
+        )
+        scalar = SlidingWindowCounter(
+            window=2, algorithm="linear_counting", memory_bits=4_096,
+            n_max=10_000, seed=7,
+        )
+        rng = np.random.default_rng(1)
+        for interval in (0, 1, 0, 2):
+            chunk = rng.integers(0, 800, size=600).astype(np.uint64)
+            batched.update_batch(interval, chunk)
+            for key in chunk.tolist():
+                scalar.add(interval, key)
+        for as_of in (0, 1, 2):
+            assert batched.estimate(as_of) == scalar.estimate(as_of)
